@@ -1,0 +1,37 @@
+"""Design-choice ablations (beyond the paper's Table 3).
+
+Regenerates the grids DESIGN.md calls out: Eq. 15 layer-adaptive vs
+global perturbation scaling, norm vs squared-norm penalty, h
+sensitivity, and the paper's gamma grid search.
+"""
+
+import repro.experiments as ex
+
+
+def test_perturbation_and_penalty_ablation(benchmark, profile, results_dir, emit):
+    def run():
+        return (
+            ex.run_perturbation_ablation(profile=profile),
+            ex.run_penalty_ablation(profile=profile),
+        )
+
+    perturbation, penalty = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ex.format_ablation(perturbation) + "\n\n" + ex.format_ablation(penalty)
+    emit("ablation_design", text)
+    for result in (perturbation, penalty):
+        for row in result["rows"]:
+            assert 0.0 <= row["test_acc"] <= 1.0
+
+
+def test_h_and_gamma_grids(benchmark, profile, results_dir, emit):
+    def run():
+        return (
+            ex.run_h_sensitivity(profile=profile),
+            ex.run_gamma_grid(profile=profile),
+        )
+
+    h_sens, gamma_grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ex.format_ablation(h_sens) + "\n\n" + ex.format_ablation(gamma_grid)
+    emit("ablation_grids", text)
+    assert len(h_sens["rows"]) == 3
+    assert len(gamma_grid["rows"]) == 3

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the autograd substrate.
+
+Not a paper artifact, but the substrate's cost model is what every
+experiment above stands on: forward, backward, and double-backward
+passes of the convolutional stack, plus the PTQ sweep primitives.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import create_model
+from repro.quant import QuantScheme, quantize_array
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def conv_setup():
+    rng = np.random.default_rng(0)
+    model = create_model("resnet8", num_classes=10, scale=1.0, seed=0)
+    x = rng.standard_normal((32, 3, 8, 8))
+    y = rng.integers(0, 10, 32)
+    loss_fn = nn.CrossEntropyLoss()
+    # Warm the im2col index cache.
+    loss_fn(model(Tensor(x)), y)
+    return model, loss_fn, x, y
+
+
+def test_forward_pass(benchmark, conv_setup):
+    model, loss_fn, x, y = conv_setup
+
+    def forward():
+        return float(loss_fn(model(Tensor(x)), y).data)
+
+    benchmark.pedantic(forward, rounds=10, iterations=1, warmup_rounds=2)
+
+
+def test_forward_backward(benchmark, conv_setup):
+    model, loss_fn, x, y = conv_setup
+
+    def forward_backward():
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward()
+        return float(loss.data)
+
+    benchmark.pedantic(forward_backward, rounds=10, iterations=1, warmup_rounds=2)
+
+
+def test_double_backward(benchmark, conv_setup):
+    model, loss_fn, x, y = conv_setup
+    params = list(model.parameters())
+
+    def double_backward():
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward(create_graph=True)
+        grads = [p.grad for p in params if p.grad is not None]
+        model.zero_grad()
+        penalty = None
+        for g in grads:
+            term = (g * g).sum()
+            penalty = term if penalty is None else penalty + term
+        penalty.backward()
+        return float(penalty.data)
+
+    benchmark.pedantic(double_backward, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_quantize_large_tensor(benchmark):
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((256, 128, 3, 3))
+    scheme = QuantScheme(4)
+    benchmark.pedantic(
+        lambda: quantize_array(w, scheme), rounds=10, iterations=1, warmup_rounds=1
+    )

@@ -1,0 +1,31 @@
+"""Fig. 1 scheme-robustness bench.
+
+Paper Sec. 5.3: "HERO also beats state-of-the-art Gradient l1 by a
+large margin under all quantization schemes."  Sweeps the 4-bit
+quantizer variants (symmetric/asymmetric x per-tensor/per-channel) on
+the cached ResNet20/CIFAR-10 runs.
+"""
+
+import repro.experiments as ex
+
+
+def test_fig1_schemes(benchmark, profile, results_dir, emit):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig1_schemes(profile=profile), rounds=1, iterations=1
+    )
+    text = ex.format_fig1_schemes(result)
+    violations = ex.check_fig1_schemes(result)
+    if violations:
+        text += "\n\nDeviations vs paper:\n" + "\n".join(f"  - {v}" for v in violations)
+    else:
+        text += "\n\nPaper claim reproduced: HERO >= GRAD-L1 under every scheme."
+    emit("fig1_schemes", text)
+    ex.save_json(result, f"{results_dir}/fig1_schemes.json")
+
+    assert len(result["rows"]) == 4
+    for row in result["rows"]:
+        for method in ("hero", "grad_l1", "sgd"):
+            assert 0.0 <= row[method] <= 1.0
+    if profile != "smoke":
+        wins = sum(1 for row in result["rows"] if row["hero"] >= row["grad_l1"])
+        assert wins >= 3, f"HERO beats GRAD-L1 under only {wins}/4 schemes"

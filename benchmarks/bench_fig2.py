@@ -1,0 +1,32 @@
+"""Figure 2 bench: ||Hz|| across training + generalization gap.
+
+Paper claims: the Hessian norm grows as the model overfits, HERO keeps
+it lowest towards the end of training, and shows the smallest
+generalization gap.
+"""
+
+import repro.experiments as ex
+
+
+def test_fig2(benchmark, profile, results_dir, emit):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig2(profile=profile), rounds=1, iterations=1
+    )
+    text = ex.format_fig2(result)
+    violations = ex.check_fig2(result)
+    if violations:
+        text += "\n\nDeviations vs paper:\n" + "\n".join(f"  - {v}" for v in violations)
+    else:
+        text += "\n\nPaper shape reproduced: HERO has the lowest final ||Hz|| and gap."
+    emit("fig2", text)
+    ex.save_json(result, f"{results_dir}/fig2.json")
+
+    finals = {}
+    for method, series in result["series"].items():
+        values = [v for v in series["hessian_norm"] if v is not None]
+        assert values, f"{method}: no Hessian-norm series"
+        assert all(v >= 0 for v in values)
+        finals[method] = values[-1]
+    # Core shape: HERO's final curvature no worse than SGD's.
+    if profile != "smoke":
+        assert finals["hero"] <= finals["sgd"] * 1.1

@@ -1,0 +1,40 @@
+"""Figure 3 bench: loss contours around HERO's vs SGD's optimum.
+
+Paper claim: under the same plot scale, HERO's surface is smoother with
+a larger region inside the +0.1-loss contour.
+"""
+
+import repro.experiments as ex
+
+
+def test_fig3(benchmark, profile, results_dir, emit):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig3(profile=profile), rounds=1, iterations=1
+    )
+    text = ex.format_fig3(result)
+    violations = ex.check_fig3(result)
+    if violations:
+        text += "\n\nDeviations vs paper:\n" + "\n".join(f"  - {v}" for v in violations)
+    else:
+        text += "\n\nPaper shape reproduced: HERO's flat region is the larger one."
+    emit("fig3", text)
+    ex.save_json(
+        {
+            method: {
+                "flat_area": entry["flat_area"],
+                "max_increase": entry["max_increase"],
+                "center_loss": entry["center_loss"],
+                "loss_grid": entry["surface"]["loss"],
+            }
+            for method, entry in result["surfaces"].items()
+        },
+        f"{results_dir}/fig3.json",
+    )
+
+    hero = result["surfaces"]["hero"]
+    sgd = result["surfaces"]["sgd"]
+    assert 0.0 <= hero["flat_area"] <= 1.0
+    assert 0.0 <= sgd["flat_area"] <= 1.0
+    # Core shape: HERO at least matches SGD's flat area.
+    if profile != "smoke":
+        assert hero["flat_area"] >= sgd["flat_area"] - 0.05

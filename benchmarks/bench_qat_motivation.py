@@ -1,0 +1,23 @@
+"""Sec. 2.2 motivation bench: QAT vs HERO when precision changes on the fly."""
+
+import repro.experiments as ex
+
+
+def test_qat_motivation(benchmark, profile, results_dir, emit):
+    result = benchmark.pedantic(
+        lambda: ex.run_qat_motivation(profile=profile), rounds=1, iterations=1
+    )
+    text = ex.format_qat_motivation(result)
+    violations = ex.check_qat_motivation(result)
+    if violations:
+        text += "\n\nDeviations:\n" + "\n".join(f"  - {v}" for v in violations)
+    else:
+        text += "\n\nPaper motivation reproduced."
+    emit("qat_motivation", text)
+    ex.save_json(result, f"{results_dir}/qat_motivation.json")
+
+    for curve in result["curves"].values():
+        assert len(curve["accuracy"]) == len(result["bits"])
+        assert all(0.0 <= a <= 1.0 for a in curve["accuracy"])
+    if profile != "smoke":
+        assert not violations, violations

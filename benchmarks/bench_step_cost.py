@@ -1,0 +1,46 @@
+"""Per-step training cost of the four methods.
+
+The paper argues HERO's Hessian regularization needs "only one
+additional backpropagation" on top of the SAM-style perturbed pass.
+This bench measures the realized per-batch cost: SGD is one
+forward/backward, first-order two, GRAD-L1 one plus a double-backward,
+HERO two plus a double-backward — so HERO should land within a small
+constant factor (~3-5x) of SGD, not asymptotically worse.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.core import make_trainer
+from repro.data import make_dataset
+from repro.models import create_model
+
+METHOD_KWARGS = {
+    "sgd": {},
+    "first_order": {"h": 0.01},
+    "grad_l1": {"lambda_l1": 0.002},
+    "hero": {"h": 0.01, "gamma": 0.05},
+}
+
+
+def make_step(method):
+    train, _test, spec = make_dataset("cifar10_like", train_size=64, test_size=32)
+    model = create_model("resnet8", num_classes=spec.num_classes, scale=1.0, seed=0)
+    loss_fn = nn.CrossEntropyLoss()
+    opt = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    trainer = make_trainer(method, model, loss_fn, opt, **METHOD_KWARGS[method])
+    x, y = train[np.arange(64)]
+
+    def step():
+        trainer.training_step(x, y)
+        opt.step()
+
+    return step
+
+
+@pytest.mark.parametrize("method", list(METHOD_KWARGS))
+def test_training_step_cost(benchmark, method):
+    step = make_step(method)
+    step()  # warm up the im2col index caches
+    benchmark.pedantic(step, rounds=5, iterations=1, warmup_rounds=1)

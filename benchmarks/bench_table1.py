@@ -1,0 +1,36 @@
+"""Table 1 bench: test accuracy across models/datasets/methods.
+
+Paper claim: HERO has the highest test accuracy in every row; GRAD-L1
+does not consistently beat SGD.
+"""
+
+import repro.experiments as ex
+
+
+def test_table1(benchmark, profile, results_dir, emit):
+    result = benchmark.pedantic(
+        lambda: ex.run_table1(profile=profile), rounds=1, iterations=1
+    )
+    text = ex.format_table1(result)
+    violations = ex.check_table1(result)
+    if violations:
+        text += "\n\nOrdering deviations vs paper:\n" + "\n".join(
+            f"  - {v}" for v in violations
+        )
+    else:
+        text += "\n\nPaper ordering reproduced: HERO best in every row."
+    emit("table1", text)
+    ex.save_json(result, f"{results_dir}/table1.json")
+
+    # Sanity: every cell is a valid accuracy and HERO wins a majority of rows.
+    rows = result["rows"]
+    for row in rows:
+        for method in ("hero", "grad_l1", "sgd"):
+            assert 0.0 <= row[method] <= 1.0
+    if profile != "smoke":
+        hero_wins = sum(
+            1 for row in rows if row["hero"] >= max(row["grad_l1"], row["sgd"])
+        )
+        assert hero_wins >= len(rows) / 2, (
+            f"HERO best in only {hero_wins}/{len(rows)} rows — reproduction shape lost"
+        )

@@ -1,0 +1,72 @@
+"""Theorem 3 verification bench (Sec. 5.4 "theoretical insight").
+
+Computes the Eq. 6/7 perturbation lower bounds for a HERO-trained and
+an SGD-trained model.  Paper theory says HERO's smaller
+``lambda_max(H)`` yields *larger* admissible perturbations — the
+mechanism behind both its generalization and quantization results —
+and Eq. 12 says GRAD-L1's bound stays small when curvature is high.
+"""
+
+import numpy as np
+
+from repro.experiments import load_experiment_data, make_config, run_training
+from repro.hessian import empirical_loss_increase, theorem3_bounds
+from repro.nn import CrossEntropyLoss
+
+
+def test_theorem3_bounds(benchmark, profile, results_dir, emit):
+    def run():
+        out = {}
+        for method in ("hero", "sgd"):
+            config = make_config("ResNet20-fast", "cifar10_like", method, profile=profile)
+            result = run_training(config)
+            train, _test, _spec = load_experiment_data(config)
+            # Full-training-set Hessian, like the paper's Sec. 5.4
+            # measurements: mini-batch lambda_max estimates are far too
+            # noisy to compare methods.
+            x, y = train[np.arange(len(train))]
+            bounds = theorem3_bounds(
+                result.model, CrossEntropyLoss(), x, y, c=0.1, power_iters=25
+            )
+            bounds["empirical_increase_at_l2_bound"] = empirical_loss_increase(
+                result.model, CrossEntropyLoss(), x, y,
+                radius=min(bounds["l2_bound"], 1e3), norm="l2", samples=4,
+            )
+            out[method] = bounds
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Theorem 3 verification: perturbation lower bounds (c = 0.1)"]
+    keys = (
+        "lambda_max",
+        "grad_norm",
+        "grad_l1",
+        "l2_bound",
+        "linf_bound",
+        "gradl1_limit",
+        "empirical_increase_at_l2_bound",
+    )
+    lines.append(f"{'quantity':>34s} {'sgd':>12s} {'hero':>12s}")
+    for key in keys:
+        lines.append(
+            f"{key:>34s} {result['sgd'][key]:>12.4g} {result['hero'][key]:>12.4g}"
+        )
+    verdict = (
+        "HERO's lambda_max is smaller and its perturbation bounds larger — "
+        "Theorem 3's mechanism reproduced."
+        if result["hero"]["lambda_max"] <= result["sgd"]["lambda_max"]
+        and result["hero"]["l2_bound"] >= result["sgd"]["l2_bound"]
+        else "Deviation: HERO's curvature/bound ordering not reproduced at this profile."
+    )
+    lines.append("")
+    lines.append(verdict)
+    emit("theory_theorem3", "\n".join(lines))
+
+    for method in ("hero", "sgd"):
+        assert result[method]["lambda_max"] >= 0
+        assert result[method]["l2_bound"] > 0
+        assert result[method]["linf_bound"] > 0
+    if profile != "smoke":
+        # Core theoretical shape: flatter HERO curvature.
+        assert result["hero"]["lambda_max"] <= result["sgd"]["lambda_max"] * 1.2

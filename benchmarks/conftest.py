@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures at the ``fast``
+profile (override with ``REPRO_PROFILE=smoke`` for a quick pass or
+``full`` for longer runs).  Training runs are memoized under
+``.cache/runs`` so figure benches reuse table models; delete that
+directory for a cold start.
+
+Each artifact bench prints the reproduced table/figure to stdout (run
+pytest with ``-s`` to see them live) and writes it to
+``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+PROFILE = os.environ.get("REPRO_PROFILE", "fast")
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Fixture: print an artifact and persist it under benchmarks/results/."""
+
+    def _emit(name, text):
+        banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+        print(banner)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _emit

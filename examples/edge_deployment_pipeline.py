@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Full edge-deployment pipeline on a HERO-trained model.
+
+Walks the steps a deployment engineer performs after training, using
+the library's whole quantization subsystem:
+
+1. train a compact model with HERO (the paper's headline use case);
+2. fold BatchNorm into the convolutions (inference-equivalent);
+3. per-layer sensitivity scan — which layers tolerate 4 bits?
+4. greedy mixed-precision assignment within an accuracy budget;
+5. calibrated weight+activation PTQ of the final artifact.
+
+Run:  python examples/edge_deployment_pipeline.py
+      REPRO_FAST=1 python examples/edge_deployment_pipeline.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.data import DataLoader
+from repro.experiments import make_config, run_training, load_experiment_data
+from repro.experiments.runner import accuracy_eval_fn
+from repro.quant import (
+    fold_batchnorms,
+    greedy_mixed_precision,
+    layer_sensitivity,
+    quantize_weights_and_activations,
+)
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+
+def main():
+    profile = "smoke" if FAST else "fast"
+
+    # 1. train with HERO
+    config = make_config("MobileNetV2", "cifar10_like", "hero", profile=profile)
+    print(f"[1/5] training MobileNetV2 with HERO ({config.epochs} epochs)...")
+    result = run_training(config)
+    train, test, _spec = load_experiment_data(config)
+    eval_fn = accuracy_eval_fn(test)
+    print(f"      full-precision test accuracy: {result.test_acc:.3f}")
+
+    # 2. fold BN
+    folded, count = fold_batchnorms(result.model)
+    folded.eval()
+    print(f"[2/5] folded {count} conv+BN pairs; accuracy {eval_fn(folded):.3f} "
+          "(must match full precision)")
+
+    # 3. sensitivity scan
+    print("[3/5] per-layer 4-bit sensitivity (top 5 most sensitive):")
+    sensitivity = layer_sensitivity(result.model, eval_fn, bits=4)
+    reference = sensitivity.pop("__full__")
+    worst = sorted(sensitivity.items(), key=lambda kv: kv[1])[:5]
+    for name, acc in worst:
+        print(f"      {name:40s} {acc:.3f}  (drop {reference - acc:+.3f})")
+
+    # 4. mixed precision
+    print("[4/5] greedy mixed-precision search (budget: 2% accuracy)...")
+    mixed = greedy_mixed_precision(
+        result.model, eval_fn, accuracy_budget=0.02, bit_choices=(8, 6, 4)
+    )
+    print(f"      average bits: {mixed['average_bits']:.2f}  "
+          f"accuracy: {mixed['accuracy']:.3f} (reference {mixed['reference']:.3f})")
+
+    # 5. weight + activation PTQ
+    print("[5/5] calibrated 8-bit weight + 8-bit activation deployment...")
+    loader = DataLoader(train, batch_size=64, shuffle=False, seed=0)
+    calibration = [next(iter(loader))]
+    deployed = quantize_weights_and_activations(
+        result.model, weight_bits=8, act_bits=8, batches=calibration
+    )
+    print(f"      deployed accuracy: {eval_fn(deployed):.3f}")
+
+    print(
+        "\nThe HERO-trained model should sail through every step — that is"
+        "\nthe paper's point: robustness to weight perturbation makes all"
+        "\npost-training deployment transforms cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Inspect *why* HERO works: curvature metrics and the loss landscape.
+
+Reproduces the paper's Sec. 5.4 analysis on a small scale:
+
+1. trains SGD and HERO models;
+2. measures the top Hessian eigenvalue (power iteration over exact
+   double-backprop HVPs — Theorem 3's ``v``), the ``||Hz||`` metric of
+   Fig. 2, and the Eq. 13 estimator ``E||Hz||^2 = sum lambda_i^2``;
+3. renders each model's loss surface as an ASCII contour (Fig. 3) and
+   reports the flat-area fraction at the paper's +0.1 tolerance.
+
+Run:  python examples/landscape_and_hessian.py
+      REPRO_FAST=1 python examples/landscape_and_hessian.py
+"""
+
+import os
+
+from repro.data import DataLoader
+from repro.experiments import make_config, run_training, load_experiment_data
+from repro.hessian import hvp_exact, hz_norm, power_iteration, eigenvalue_square_sum
+from repro.landscape import (
+    ascii_contour,
+    flat_area_fraction,
+    loss_surface,
+    make_plot_directions,
+)
+from repro.nn import CrossEntropyLoss
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+
+def main():
+    profile = "smoke" if FAST else "fast"
+    loss_fn = CrossEntropyLoss()
+    runs = {}
+    for method in ("sgd", "hero"):
+        config = make_config("ResNet20-fast", "cifar10_like", method, profile=profile)
+        print(f"training {method} ({config.epochs} epochs)...")
+        runs[method] = run_training(config)
+
+    config = make_config("ResNet20-fast", "cifar10_like", "sgd", profile=profile)
+    train, _test, _spec = load_experiment_data(config)
+    loader = DataLoader(train, batch_size=64, shuffle=False, seed=0)
+    x, y = next(iter(loader))
+
+    print(f"\n{'metric':>28s} {'sgd':>12s} {'hero':>12s}")
+    metrics = {}
+    for method, result in runs.items():
+        model = result.model
+        params = list(model.parameters())
+        shapes = [p.shape for p in params]
+        hvp_fn = lambda v, m=model: hvp_exact(m, loss_fn, x, y, v)
+        top_eig, _vec, _hist = power_iteration(hvp_fn, shapes, iters=8, seed=0)
+        hz = hz_norm(model, loss_fn, loader, h=0.01, max_batches=2)
+        eigsq, _ = eigenvalue_square_sum(hvp_fn, shapes, samples=2, seed=0)
+        metrics[method] = {
+            "lambda_max (Theorem 3 v)": top_eig,
+            "||Hz|| (Fig. 2 metric)": hz,
+            "sum lambda^2 (Eq. 13)": eigsq,
+            "test accuracy": result.test_acc,
+        }
+    for key in next(iter(metrics.values())):
+        print(
+            f"{key:>28s} {metrics['sgd'][key]:>12.4g} {metrics['hero'][key]:>12.4g}"
+        )
+
+    print("\n== Fig. 3: loss contours (darker = higher loss) ==")
+    batches = [(x, y)]
+    steps = 7 if FAST else 13
+    for method, result in runs.items():
+        params = list(result.model.parameters())
+        d1, d2 = make_plot_directions(params, seed=7)
+        surface = loss_surface(
+            result.model, loss_fn, batches, d1, d2, radius=0.5, steps=(steps, steps)
+        )
+        flat = flat_area_fraction(surface, tolerance=0.1)
+        print(f"\n[{method}] flat area within +0.1 loss: {100 * flat:.1f}%")
+        print(ascii_contour(surface))
+
+    print(
+        "\nExpected: every curvature metric lower for HERO, and a larger"
+        "\nflat region around its optimum — Theorems 1-3 in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

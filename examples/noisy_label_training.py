@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Noisy-label scenario: training on data with corrupted annotations.
+
+Real-world edge datasets carry label noise; the paper's Table 2 shows
+HERO degrades gracefully where SGD collapses (42% at 80% noise).  This
+example corrupts the synthetic CIFAR-10 stand-in at several noise
+ratios, trains SGD and HERO on each, and reports clean-test accuracy
+plus how much of the label noise each model *memorized* (accuracy on
+the corrupted labels themselves — lower is better).
+
+Run:  python examples/noisy_label_training.py
+      REPRO_FAST=1 python examples/noisy_label_training.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.data import corrupt_symmetric, make_dataset, DataLoader
+from repro.experiments import make_config
+from repro.experiments.runner import build_model, build_trainer, evaluate_accuracy
+from repro.tensor import Tensor, no_grad
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+
+def memorization_rate(model, inputs, noisy_labels, corrupted_mask):
+    """How often the model predicts the *wrong* (corrupted) label."""
+    if not corrupted_mask.any():
+        return 0.0
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(inputs[corrupted_mask])).data
+    return float((logits.argmax(1) == noisy_labels[corrupted_mask]).mean())
+
+
+def main():
+    profile = "smoke" if FAST else "fast"
+    train, test, spec = make_dataset("cifar10_like")
+    ratios = (0.2, 0.6) if FAST else (0.2, 0.4, 0.6, 0.8)
+
+    print(f"{'noise':>6s} {'method':>8s} {'clean test acc':>15s} {'noise memorized':>16s}")
+    for ratio in ratios:
+        noisy_labels, mask = corrupt_symmetric(train.targets, ratio, spec.num_classes, seed=17)
+        noisy_train = train.with_targets(noisy_labels)
+        for method in ("sgd", "hero"):
+            config = make_config("ResNet20-fast", "cifar10_like", method, profile=profile)
+            model = build_model(config, spec)
+            trainer = build_trainer(config, model)
+            loader = DataLoader(noisy_train, batch_size=config.batch_size, seed=1)
+            trainer.fit(loader, config.epochs)
+            acc = evaluate_accuracy(model, test)
+            mem = memorization_rate(model, train.inputs, noisy_labels, mask)
+            print(f"{int(100 * ratio):>5d}% {method:>8s} {acc:>15.3f} {mem:>16.3f}")
+
+    print(
+        "\nHERO should hold clean accuracy at high ratios while memorizing"
+        "\nfewer corrupted labels — flat minima resist fitting label noise"
+        "\n(the paper's Table 2 mechanism)."
+    )
+
+
+if __name__ == "__main__":
+    main()

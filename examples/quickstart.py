@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: train a small classifier with HERO and compare with SGD.
+
+Trains an MLP on the three-class spirals dataset (with 25% label noise,
+the regime HERO is built for), then post-training-quantizes the weights
+to 4 and 3 bits — the one-screen version of the paper's whole story:
+HERO matches or beats SGD at full precision *and* survives quantization
+better, with no quantization-aware finetuning.
+
+Run:  python examples/quickstart.py        (~half a minute)
+"""
+
+import numpy as np
+
+from repro import nn, optim
+from repro.core import make_trainer
+from repro.data import DataLoader, corrupt_symmetric, spirals, train_test_split
+from repro.experiments.runner import evaluate_accuracy
+from repro.models import MLP
+from repro.quant import QuantScheme, evaluate_quantized
+
+
+def train_method(method, train_set, test_set, epochs=80, seed=0, **method_kwargs):
+    """Train one method and return (model, test accuracy)."""
+    rng = np.random.default_rng(seed)
+    model = MLP(in_features=2, hidden=(32, 32), num_classes=3, rng=rng)
+    loss_fn = nn.CrossEntropyLoss()
+    optimizer = optim.SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-4)
+    scheduler = optim.CosineAnnealingLR(optimizer, t_max=epochs)
+    trainer = make_trainer(
+        method, model, loss_fn, optimizer, scheduler=scheduler, **method_kwargs
+    )
+    loader = DataLoader(train_set, batch_size=32, seed=seed)
+    trainer.fit(loader, epochs=epochs)
+    return model, evaluate_accuracy(model, test_set)
+
+
+def main():
+    dataset = spirals(n=360, num_classes=3, noise=0.35, seed=1)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.4, seed=2)
+    noisy_labels, _mask = corrupt_symmetric(train_set.targets, 0.25, 3, seed=3)
+    train_set = train_set.with_targets(noisy_labels)
+    print(
+        f"spirals: {len(train_set)} train (25% labels corrupted) / "
+        f"{len(test_set)} clean test samples\n"
+    )
+
+    print(f"{'method':10s} {'test acc':>9s} {'4-bit':>7s} {'3-bit':>7s}")
+    for method, kwargs in (
+        ("sgd", {}),
+        ("hero", {"h": 0.002, "gamma": 0.02}),
+    ):
+        model, acc = train_method(method, train_set, test_set, **kwargs)
+        eval_fn = lambda m: evaluate_accuracy(m, test_set)
+        q4, _ = evaluate_quantized(model, QuantScheme(bits=4), eval_fn)
+        q3, _ = evaluate_quantized(model, QuantScheme(bits=3), eval_fn)
+        print(f"{method:10s} {acc:9.3f} {q4:7.3f} {q3:7.3f}")
+
+    print(
+        "\nHERO should beat SGD at full precision and lose less accuracy"
+        "\nat 4 and 3 bits (sharp minima quantize worse — paper Sec. 3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

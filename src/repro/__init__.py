@@ -1,0 +1,43 @@
+"""HERO reproduction — Hessian-Enhanced Robust Optimization (DAC 2022).
+
+A full from-scratch reproduction of Yang et al., "HERO:
+Hessian-Enhanced Robust Optimization for Unifying and Improving
+Generalization and Quantization Performance", built on a numpy autograd
+engine with double-backprop support.
+
+Subpackages
+-----------
+``repro.tensor``      autograd engine (Tensor, double backprop)
+``repro.nn``          layers, losses, initializers
+``repro.models``      ResNet / MobileNetV2 / VGG-BN / MLP zoo
+``repro.data``        synthetic datasets, loaders, augmentation, label noise
+``repro.optim``       SGD + schedulers
+``repro.core``        HERO and baseline trainers (the paper's methods)
+``repro.quant``       linear uniform post-training quantization
+``repro.hessian``     HVPs, eigenvalues, ||Hz|| metric
+``repro.landscape``   loss-surface visualization
+``repro.experiments`` harness regenerating every table and figure
+"""
+
+from . import tensor, nn, models, data, optim, core, quant, hessian, landscape
+from .tensor import Tensor, no_grad
+from .core import make_trainer, available_methods
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "models",
+    "data",
+    "optim",
+    "core",
+    "quant",
+    "hessian",
+    "landscape",
+    "Tensor",
+    "no_grad",
+    "make_trainer",
+    "available_methods",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""``repro.attacks`` — input-space adversarial evaluation.
+
+HERO's Sec. 2.3 takes its Hessian-regularization idea from CURE
+(Moosavi-Dezfooli et al. [18]), which works in *input* space.  This
+package provides the standard input-perturbation attacks (FGSM, PGD)
+used to evaluate that connection, plus robust-accuracy evaluation.
+"""
+
+from .gradient_attacks import fgsm, pgd, input_gradient, robust_accuracy
+
+__all__ = ["fgsm", "pgd", "input_gradient", "robust_accuracy"]

@@ -1,0 +1,87 @@
+"""Training callbacks: Hessian-norm tracking (Fig. 2) and checkpoints."""
+
+import copy
+
+from ..hessian.norm import hz_norm
+from .trainer import Callback
+
+
+class HessianNormCallback(Callback):
+    """Log the paper's ``||Hz||`` metric each epoch (Fig. 2a).
+
+    Parameters
+    ----------
+    loader:
+        Loader over the *training* set (the paper averages the metric
+        over the entire training set).
+    h:
+        Probe step — the experiment's perturbation step size.
+    max_batches:
+        Cap the number of batches per measurement (speed knob).
+    every:
+        Measure every ``every`` epochs (still always measures the last
+        epoch seen).
+    """
+
+    def __init__(self, loader, loss_fn, h=0.5, max_batches=None, every=1):
+        self.loader = loader
+        self.loss_fn = loss_fn
+        self.h = h
+        self.max_batches = max_batches
+        self.every = max(1, every)
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        if epoch % self.every:
+            return
+        logs["hessian_norm"] = hz_norm(
+            trainer.model,
+            self.loss_fn,
+            self.loader,
+            h=self.h,
+            max_batches=self.max_batches,
+        )
+
+
+class GeneralizationGapCallback(Callback):
+    """Log ``train_acc - test_acc`` when both are present (Fig. 2b)."""
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        if "train_acc" in logs and "test_acc" in logs:
+            logs["generalization_gap"] = logs["train_acc"] - logs["test_acc"]
+
+
+class CheckpointCallback(Callback):
+    """Keep the state dict of the best epoch by a monitored metric."""
+
+    def __init__(self, monitor="test_acc", mode="max"):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.monitor = monitor
+        self.mode = mode
+        self.best_value = None
+        self.best_state = None
+        self.best_epoch = None
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        value = logs.get(self.monitor)
+        if value is None:
+            return
+        better = (
+            self.best_value is None
+            or (self.mode == "max" and value > self.best_value)
+            or (self.mode == "min" and value < self.best_value)
+        )
+        if better:
+            self.best_value = value
+            self.best_epoch = epoch
+            self.best_state = copy.deepcopy(trainer.model.state_dict())
+
+
+class LambdaCallback(Callback):
+    """Wrap a plain function as an epoch-end callback."""
+
+    def __init__(self, on_epoch_end):
+        self._fn = on_epoch_end
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        self._fn(trainer, epoch, logs)

@@ -1,0 +1,51 @@
+"""Early stopping callback."""
+
+from .trainer import Callback
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored metric stops improving.
+
+    The training loop has no built-in abort channel, so this callback
+    sets ``trainer.stop_requested``; :meth:`should_stop` is also
+    available for custom loops.  When used with :class:`Trainer.fit`,
+    remaining epochs are skipped (the loop checks the flag).
+    """
+
+    def __init__(self, monitor="test_acc", mode="max", patience=5, min_delta=0.0):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.monitor = monitor
+        self.mode = mode
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = None
+        self.stale_epochs = 0
+        self.stopped_epoch = None
+
+    def _improved(self, value):
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        """Track the monitored metric; request a stop when stale."""
+        value = logs.get(self.monitor)
+        if value is None:
+            return
+        if self._improved(value):
+            self.best = value
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self.stopped_epoch = epoch
+                trainer.stop_requested = True
+
+    def should_stop(self):
+        """Whether the stop condition has fired."""
+        return self.stopped_epoch is not None

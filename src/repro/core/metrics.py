@@ -1,0 +1,83 @@
+"""Training metrics: accuracy and running averages."""
+
+import numpy as np
+
+
+def accuracy(logits, targets):
+    """Fraction of argmax predictions matching integer targets."""
+    logits = np.asarray(logits if not hasattr(logits, "data") else logits.data)
+    targets = np.asarray(targets)
+    predictions = logits.argmax(axis=1)
+    return float((predictions == targets).mean())
+
+
+def correct_count(logits, targets):
+    """Number of argmax predictions matching integer targets."""
+    logits = np.asarray(logits if not hasattr(logits, "data") else logits.data)
+    targets = np.asarray(targets)
+    return int((logits.argmax(axis=1) == targets).sum())
+
+
+class AverageMeter:
+    """Weighted running average (weights = batch sizes)."""
+
+    def __init__(self):
+        self.total = 0.0
+        self.weight = 0.0
+
+    def update(self, value, weight=1.0):
+        """Fold ``value`` (weighted) into the running average."""
+        self.total += float(value) * weight
+        self.weight += weight
+
+    @property
+    def average(self):
+        """Current weighted mean (0 when nothing was recorded)."""
+        return self.total / self.weight if self.weight else 0.0
+
+    def reset(self):
+        """Clear the accumulator."""
+        self.total = 0.0
+        self.weight = 0.0
+
+
+class History:
+    """Per-epoch training log with column access.
+
+    ``history.log(train_loss=..., test_acc=...)`` appends one epoch;
+    ``history["test_acc"]`` returns the column as a list; missing
+    epochs are padded with ``None`` so ragged callbacks are safe.
+    """
+
+    def __init__(self):
+        self._rows = []
+
+    def log(self, **values):
+        """Append one epoch's metrics."""
+        self._rows.append(dict(values))
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __getitem__(self, key):
+        return [row.get(key) for row in self._rows]
+
+    def last(self, key, default=None):
+        """Most recent recorded value of ``key``."""
+        for row in reversed(self._rows):
+            if key in row:
+                return row[key]
+        return default
+
+    def columns(self):
+        """All metric names seen so far, in first-seen order."""
+        keys = []
+        for row in self._rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        return keys
+
+    def to_dict(self):
+        """Column-major dict of the full history."""
+        return {key: self[key] for key in self.columns()}

@@ -1,0 +1,30 @@
+"""``repro.data`` — datasets, loaders, augmentation and label noise."""
+
+from .dataset import ArrayDataset, DataLoader
+from .synthetic import (
+    SyntheticSpec,
+    PROFILES,
+    generate_synthetic,
+    make_dataset,
+)
+from .toy import two_moons, spirals, gaussian_blobs, train_test_split
+from .augment import random_crop, random_horizontal_flip, standard_augment
+from .noisy_labels import corrupt_symmetric, corrupt_dataset
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticSpec",
+    "PROFILES",
+    "generate_synthetic",
+    "make_dataset",
+    "two_moons",
+    "spirals",
+    "gaussian_blobs",
+    "train_test_split",
+    "random_crop",
+    "random_horizontal_flip",
+    "standard_augment",
+    "corrupt_symmetric",
+    "corrupt_dataset",
+]

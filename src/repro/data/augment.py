@@ -1,0 +1,41 @@
+"""Data augmentation — the paper's CIFAR recipe.
+
+The paper applies "basic data augmentations, such as random crop,
+padding, and random horizontal flip on the training set".  These
+transforms operate on NCHW numpy batches and take the loader's rng so
+an epoch's augmentation stream is reproducible.
+"""
+
+import numpy as np
+
+
+def random_crop(batch, rng, padding=1):
+    """Zero-pad by ``padding`` then crop back at a random offset per image."""
+    n, c, h, w = batch.shape
+    padded = np.pad(
+        batch, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out = np.empty_like(batch)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+def random_horizontal_flip(batch, rng, p=0.5):
+    """Mirror each image left-right with probability ``p``."""
+    flip = rng.random(len(batch)) < p
+    out = batch.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def standard_augment(padding=1, flip_p=0.5):
+    """The paper's training-set augmentation as a loader transform."""
+
+    def transform(batch, rng):
+        batch = random_crop(batch, rng, padding=padding)
+        return random_horizontal_flip(batch, rng, p=flip_p)
+
+    return transform

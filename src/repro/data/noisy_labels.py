@@ -1,0 +1,36 @@
+"""Symmetric label noise — the paper's Table 2 protocol (after [16]).
+
+"We uniformly sample a certain proportion (from 20% to 80%, namely
+noise ratio) of the training data and replace their labels with a
+uniform random sample from all the possible classes."
+"""
+
+import numpy as np
+
+
+def corrupt_symmetric(labels, noise_ratio, num_classes, seed=0):
+    """Return ``(noisy_labels, corrupted_mask)``.
+
+    A ``noise_ratio`` fraction of entries is selected uniformly and
+    each selected label is replaced by a uniform draw over **all**
+    classes (so a corrupted label may coincide with the original —
+    exactly the symmetric protocol the paper follows).
+    """
+    if not 0.0 <= noise_ratio <= 1.0:
+        raise ValueError(f"noise_ratio must be in [0, 1], got {noise_ratio}")
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    n = len(labels)
+    n_corrupt = int(round(noise_ratio * n))
+    chosen = rng.choice(n, size=n_corrupt, replace=False)
+    noisy = labels.copy()
+    noisy[chosen] = rng.integers(0, num_classes, size=n_corrupt)
+    mask = np.zeros(n, dtype=bool)
+    mask[chosen] = True
+    return noisy, mask
+
+
+def corrupt_dataset(dataset, noise_ratio, num_classes, seed=0):
+    """Return a copy of ``dataset`` with symmetric label noise applied."""
+    noisy, mask = corrupt_symmetric(dataset.targets, noise_ratio, num_classes, seed=seed)
+    return dataset.with_targets(noisy), mask

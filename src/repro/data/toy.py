@@ -1,0 +1,68 @@
+"""Toy 2-D classification datasets for quickstart examples and tests."""
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+
+def two_moons(n=256, noise=0.1, seed=0):
+    """Two interleaved half-circles — the classic nonlinear benchmark."""
+    rng = np.random.default_rng(seed)
+    n_per = n // 2
+    theta = rng.uniform(0, np.pi, size=n_per)
+    upper = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+    lower = np.stack([1.0 - np.cos(theta), 0.5 - np.sin(theta)], axis=1)
+    x = np.concatenate([upper, lower]) + noise * rng.standard_normal((2 * n_per, 2))
+    y = np.concatenate([np.zeros(n_per, dtype=np.int64), np.ones(n_per, dtype=np.int64)])
+    order = rng.permutation(len(x))
+    return ArrayDataset(x[order], y[order])
+
+
+def spirals(n=256, num_classes=3, noise=0.15, turns=1.25, seed=0):
+    """``num_classes`` interleaved spirals radiating from the origin."""
+    rng = np.random.default_rng(seed)
+    n_per = n // num_classes
+    xs, ys = [], []
+    for c in range(num_classes):
+        radius = np.linspace(0.1, 1.0, n_per)
+        angle = (
+            2 * np.pi * turns * radius
+            + 2 * np.pi * c / num_classes
+            + noise * rng.standard_normal(n_per)
+        )
+        xs.append(np.stack([radius * np.cos(angle), radius * np.sin(angle)], axis=1))
+        ys.append(np.full(n_per, c, dtype=np.int64))
+    x = np.concatenate(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    return ArrayDataset(x[order], y[order])
+
+
+def gaussian_blobs(n=300, num_classes=3, spread=1.5, noise=0.35, seed=0):
+    """Gaussian clusters on a circle — linearly separable baseline."""
+    rng = np.random.default_rng(seed)
+    n_per = n // num_classes
+    centers = spread * np.stack(
+        [
+            np.cos(2 * np.pi * np.arange(num_classes) / num_classes),
+            np.sin(2 * np.pi * np.arange(num_classes) / num_classes),
+        ],
+        axis=1,
+    )
+    xs, ys = [], []
+    for c in range(num_classes):
+        xs.append(centers[c] + noise * rng.standard_normal((n_per, 2)))
+        ys.append(np.full(n_per, c, dtype=np.int64))
+    x = np.concatenate(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    return ArrayDataset(x[order], y[order])
+
+
+def train_test_split(dataset, test_fraction=0.3, seed=0):
+    """Random split of an :class:`ArrayDataset` into train/test parts."""
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_test = int(round(n * test_fraction))
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

@@ -1,0 +1,110 @@
+"""``repro.experiments`` — harness regenerating every table and figure.
+
+Each module corresponds to one artifact of the paper's evaluation
+section and exposes ``run_*`` (compute), ``check_*`` (paper-shape
+assertions) and ``format_*`` (text rendering):
+
+===========  ===========================================================
+``table1``   test accuracy across models/datasets/methods
+``table2``   accuracy under 20-80% symmetric label noise
+``table3``   HERO vs first-order-only vs SGD under PTQ (ablation)
+``fig1``     PTQ accuracy vs precision, 7 panels
+``fig2``     ``||Hz||`` and generalization gap across training
+``fig3``     loss contours around converged weights
+``ablations``design-choice ablations (perturbation/penalty/h/gamma)
+===========  ===========================================================
+"""
+
+from .config import TrainConfig, make_config, METHOD_HYPERS, PAPER_MODELS, PROFILES
+from .runner import (
+    RunResult,
+    run_training,
+    evaluate_accuracy,
+    accuracy_eval_fn,
+    load_experiment_data,
+    build_model,
+    build_trainer,
+    DEFAULT_CACHE_DIR,
+)
+from .reporting import format_table, format_series, save_json
+from .table1 import run_table1, check_table1, format_table1
+from .table2 import run_table2, check_table2, format_table2
+from .table3 import run_table3, check_table3, format_table3
+from .fig1 import (
+    run_fig1,
+    check_fig1,
+    format_fig1,
+    run_fig1_schemes,
+    check_fig1_schemes,
+    format_fig1_schemes,
+)
+from .fig2 import run_fig2, check_fig2, format_fig2
+from .fig3 import run_fig3, check_fig3, format_fig3
+from .qat_motivation import (
+    run_qat_motivation,
+    check_qat_motivation,
+    format_qat_motivation,
+)
+from .replication import run_with_seeds, compare_methods_with_seeds
+from .summary_report import collect_results_markdown, write_results_markdown
+from .ablations import (
+    run_perturbation_ablation,
+    run_penalty_ablation,
+    run_h_sensitivity,
+    run_gamma_grid,
+    run_regularizer_ablation,
+    format_ablation,
+)
+
+__all__ = [
+    "TrainConfig",
+    "make_config",
+    "METHOD_HYPERS",
+    "PAPER_MODELS",
+    "PROFILES",
+    "RunResult",
+    "run_training",
+    "evaluate_accuracy",
+    "accuracy_eval_fn",
+    "load_experiment_data",
+    "build_model",
+    "build_trainer",
+    "DEFAULT_CACHE_DIR",
+    "format_table",
+    "format_series",
+    "save_json",
+    "run_table1",
+    "check_table1",
+    "format_table1",
+    "run_table2",
+    "check_table2",
+    "format_table2",
+    "run_table3",
+    "check_table3",
+    "format_table3",
+    "run_fig1",
+    "check_fig1",
+    "format_fig1",
+    "run_fig1_schemes",
+    "check_fig1_schemes",
+    "format_fig1_schemes",
+    "run_fig2",
+    "check_fig2",
+    "format_fig2",
+    "run_fig3",
+    "check_fig3",
+    "format_fig3",
+    "run_perturbation_ablation",
+    "run_penalty_ablation",
+    "run_h_sensitivity",
+    "run_gamma_grid",
+    "run_regularizer_ablation",
+    "format_ablation",
+    "run_qat_motivation",
+    "check_qat_motivation",
+    "format_qat_motivation",
+    "run_with_seeds",
+    "compare_methods_with_seeds",
+    "collect_results_markdown",
+    "write_results_markdown",
+]

@@ -1,0 +1,123 @@
+"""Design-choice ablations beyond the paper's Table 3.
+
+DESIGN.md calls out the implementation decisions HERO leaves open;
+each gets an experiment here:
+
+* ``perturbation``: layer-adaptive Eq. 15 scaling vs a single global
+  scale (Sec. 4.1 argues per-layer adaptation is needed);
+* ``penalty``: ``||.||_2`` (Algorithm 1) vs ``||.||^2`` (Eq. 13);
+* ``h_sensitivity``: the probe step around its tuned value;
+* ``gamma_grid``: the paper's Hessian-strength grid search.
+"""
+
+from ..quant import QuantScheme, evaluate_quantized
+from .config import make_config
+from .reporting import format_table
+from .runner import accuracy_eval_fn, load_experiment_data, run_training
+
+DEFAULT_MODEL = "ResNet20-fast"
+DEFAULT_DATASET = "cifar10_like"
+
+
+def _run_variant(config, cache_dir, runner_kwargs, low_bits=4):
+    kwargs = dict(runner_kwargs)
+    if cache_dir is not None:
+        kwargs["cache_dir"] = cache_dir
+    result = run_training(config, **kwargs)
+    _train, test, _spec = load_experiment_data(config)
+    eval_fn = accuracy_eval_fn(test)
+    q_low, _ = evaluate_quantized(result.model, QuantScheme(bits=low_bits), eval_fn)
+    return {
+        "test_acc": result.test_acc,
+        "train_acc": result.train_acc,
+        f"q{low_bits}_acc": q_low,
+    }
+
+
+def run_perturbation_ablation(profile="fast", cache_dir=None, seed=0, **runner_kwargs):
+    """Eq. 15 layer-adaptive scaling vs one global scale."""
+    rows = []
+    for perturbation in ("layer_adaptive", "global"):
+        config = make_config(
+            DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed,
+            perturbation=perturbation,
+        )
+        rows.append({"variant": perturbation, **_run_variant(config, cache_dir, runner_kwargs)})
+    return {"name": "perturbation", "rows": rows}
+
+
+def run_penalty_ablation(profile="fast", cache_dir=None, seed=0, **runner_kwargs):
+    """Algorithm-1 norm penalty vs Eq. 13 squared-norm penalty."""
+    rows = []
+    for penalty in ("norm", "sq_norm"):
+        config = make_config(
+            DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed,
+            penalty=penalty,
+        )
+        rows.append({"variant": penalty, **_run_variant(config, cache_dir, runner_kwargs)})
+    return {"name": "penalty", "rows": rows}
+
+
+def run_h_sensitivity(profile="fast", cache_dir=None, seed=0, factors=(0.5, 1.0, 2.0), **runner_kwargs):
+    """Probe-step sensitivity around the tuned ``h``."""
+    base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
+    rows = []
+    for factor in factors:
+        config = base.with_overrides(h=base.h * factor)
+        rows.append(
+            {"variant": f"h={config.h:g}", **_run_variant(config, cache_dir, runner_kwargs)}
+        )
+    return {"name": "h_sensitivity", "rows": rows}
+
+
+def run_regularizer_ablation(profile="fast", cache_dir=None, seed=0, **runner_kwargs):
+    """Eq. 14 finite-difference proxy vs exact-HVP penalty (3rd order)."""
+    rows = []
+    for regularizer in ("finite_diff", "exact_hvp"):
+        config = make_config(
+            DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed,
+        )
+        # TrainConfig has no regularizer field (it is an implementation
+        # ablation, not a paper hyperparameter) — run without cache.
+        from .runner import build_model, build_trainer, load_experiment_data
+        from ..data import DataLoader
+        from ..quant import QuantScheme, evaluate_quantized
+        from .runner import accuracy_eval_fn, evaluate_accuracy
+
+        train, test, spec = load_experiment_data(config)
+        model = build_model(config, spec)
+        trainer = build_trainer(config, model)
+        trainer.regularizer = regularizer
+        loader = DataLoader(train, batch_size=config.batch_size, seed=config.seed + 1)
+        trainer.fit(loader, config.epochs)
+        eval_fn = accuracy_eval_fn(test)
+        q4, _ = evaluate_quantized(model, QuantScheme(bits=4), eval_fn)
+        rows.append(
+            {
+                "variant": regularizer,
+                "test_acc": evaluate_accuracy(model, test),
+                "train_acc": evaluate_accuracy(model, train),
+                "q4_acc": q4,
+            }
+        )
+    return {"name": "regularizer", "rows": rows}
+
+
+def run_gamma_grid(profile="fast", cache_dir=None, seed=0, gammas=(0.01, 0.05, 0.2), **runner_kwargs):
+    """The paper's gamma grid search (scaled to this substrate)."""
+    base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
+    rows = []
+    for gamma in gammas:
+        config = base.with_overrides(gamma=gamma)
+        rows.append(
+            {"variant": f"gamma={gamma:g}", **_run_variant(config, cache_dir, runner_kwargs)}
+        )
+    return {"name": "gamma_grid", "rows": rows}
+
+
+def format_ablation(result):
+    """Render one ablation block."""
+    keys = [k for k in result["rows"][0] if k != "variant"]
+    headers = ["Variant"] + keys
+    body = [[row["variant"]] + [row[k] for k in keys] for row in result["rows"]]
+    return format_table(headers, body, title=f"Ablation: {result['name']}")

@@ -1,0 +1,146 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table1 --profile fast
+    python -m repro.experiments fig1 --profile smoke --json out/fig1.json
+    python -m repro.experiments all --profile fast --output-dir results/
+
+Each artifact prints its rendered table/figure and the paper-shape
+check result; ``--json`` additionally dumps the raw numbers.
+"""
+
+import argparse
+import sys
+
+from . import (
+    check_fig1,
+    check_fig2,
+    check_fig3,
+    check_table1,
+    check_table2,
+    check_table3,
+    format_ablation,
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_gamma_grid,
+    run_h_sensitivity,
+    run_penalty_ablation,
+    run_perturbation_ablation,
+    run_qat_motivation,
+    check_qat_motivation,
+    format_qat_motivation,
+    run_regularizer_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    save_json,
+)
+
+
+def _ablations(profile, cache_dir, **kwargs):
+    results = [
+        run_perturbation_ablation(profile=profile, cache_dir=cache_dir),
+        run_penalty_ablation(profile=profile, cache_dir=cache_dir),
+        run_h_sensitivity(profile=profile, cache_dir=cache_dir),
+        run_gamma_grid(profile=profile, cache_dir=cache_dir),
+        run_regularizer_ablation(profile=profile, cache_dir=cache_dir),
+    ]
+    return {"ablations": results}
+
+
+def _format_ablations(result):
+    return "\n\n".join(format_ablation(r) for r in result["ablations"])
+
+
+ARTIFACTS = {
+    "table1": (run_table1, format_table1, check_table1),
+    "table2": (run_table2, format_table2, check_table2),
+    "table3": (run_table3, format_table3, check_table3),
+    "fig1": (run_fig1, format_fig1, check_fig1),
+    "fig2": (run_fig2, format_fig2, check_fig2),
+    "fig3": (run_fig3, format_fig3, check_fig3),
+    "ablations": (_ablations, _format_ablations, None),
+    "qat": (run_qat_motivation, format_qat_motivation, check_qat_motivation),
+}
+
+
+def build_parser():
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the HERO paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        default="fast",
+        choices=("smoke", "fast", "full"),
+        help="execution scale (default: fast)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="experiment seed (default: 0)"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="retrain instead of reusing cached runs",
+    )
+    parser.add_argument("--json", help="also dump raw results to this JSON path")
+    return parser
+
+
+def run_artifact(name, profile, seed=0, force=False, json_path=None, out=sys.stdout):
+    """Run one artifact; returns the number of paper-shape violations."""
+    run_fn, format_fn, check_fn = ARTIFACTS[name]
+    kwargs = {"profile": profile}
+    if name != "ablations":
+        kwargs["seed"] = seed
+        kwargs["force"] = force
+    result = run_fn(**kwargs)
+    print(format_fn(result), file=out)
+    violations = check_fn(result) if check_fn else []
+    if violations:
+        print("\nDeviations vs the paper's claims:", file=out)
+        for violation in violations:
+            print(f"  - {violation}", file=out)
+    elif check_fn:
+        print("\nPaper-shape checks passed.", file=out)
+    if json_path:
+        save_json(result, json_path)
+        print(f"\nraw results -> {json_path}", file=out)
+    return len(violations)
+
+
+def main(argv=None):
+    """CLI entry point; returns a shell exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    total_violations = 0
+    for name in names:
+        if len(names) > 1:
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        json_path = args.json if len(names) == 1 else None
+        total_violations += run_artifact(
+            name,
+            args.profile,
+            seed=args.seed,
+            force=args.no_cache,
+            json_path=json_path,
+        )
+    return 0 if total_violations == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

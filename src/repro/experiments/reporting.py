@@ -1,0 +1,70 @@
+"""Plain-text rendering of reproduction tables and series.
+
+The environment has no plotting stack, so figures are reported as
+aligned numeric series (and, for Fig. 3, ASCII contours) — enough to
+read off the orderings and gaps the paper's evaluation claims.
+"""
+
+import json
+import os
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table.
+
+    ``rows`` entries may be strings or floats (formatted as percent
+    when in [0, 1], else 4 significant digits).
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        if abs(value) <= 1.0:
+            return f"{100.0 * value:.2f}%"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y"):
+    """Render one figure series as two aligned rows."""
+    x_cells = [f"{x:>8}" for x in xs]
+    y_cells = [
+        f"{100 * y:7.2f}%" if isinstance(y, float) and abs(y) <= 1 else f"{y:8.4g}"
+        for y in ys
+    ]
+    return "\n".join(
+        [
+            f"{name}",
+            f"  {x_label:>12}: " + " ".join(x_cells),
+            f"  {y_label:>12}: " + " ".join(y_cells),
+        ]
+    )
+
+
+def save_json(payload, path):
+    """Persist a result payload (dicts/lists/numbers) as JSON."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=_jsonify)
+    return path
+
+
+def _jsonify(value):
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "__dict__"):
+        return value.__dict__
+    return str(value)

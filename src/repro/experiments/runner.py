@@ -1,0 +1,212 @@
+"""Deterministic experiment runner with on-disk memoization.
+
+``run_training(config)`` trains a model exactly as the config says and
+returns a :class:`RunResult`; results are cached under
+``.cache/runs/<key>`` so that e.g. the Fig. 1 bench reuses the models
+trained for Table 1 instead of retraining them.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn, optim
+from ..core import make_trainer
+from ..core.metrics import History
+from ..data import DataLoader, corrupt_dataset, make_dataset, standard_augment
+from ..models import create_model
+from ..tensor import Tensor, no_grad
+from .config import TrainConfig
+
+DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache", "runs")
+
+
+@dataclass
+class RunResult:
+    """Everything a table/figure needs from one training run."""
+
+    config: TrainConfig
+    model: object
+    history: History
+    train_acc: float
+    test_acc: float
+    from_cache: bool = False
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def generalization_gap(self):
+        """``train_acc - test_acc`` (Fig. 2b's quantity)."""
+        return self.train_acc - self.test_acc
+
+
+def load_experiment_data(config):
+    """Datasets for a config: ``(train, test, spec)``, label noise applied."""
+    train, test, spec = make_dataset(
+        config.dataset, train_size=config.train_size, test_size=config.test_size
+    )
+    if config.label_noise > 0:
+        train, _mask = corrupt_dataset(
+            train, config.label_noise, spec.num_classes, seed=config.seed + 17
+        )
+    return train, test, spec
+
+
+def build_model(config, spec):
+    """Instantiate the config's model for the dataset's shape."""
+    return create_model(
+        config.model,
+        num_classes=spec.num_classes,
+        in_channels=spec.channels,
+        scale=config.model_scale,
+        seed=config.seed,
+        image_size=spec.image_size,
+    )
+
+
+def build_trainer(config, model, callbacks=()):
+    """Optimizer + scheduler + method trainer per the config."""
+    loss_fn = nn.CrossEntropyLoss()
+    optimizer = optim.SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    scheduler = optim.CosineAnnealingLR(optimizer, t_max=config.epochs)
+    method_kwargs = {}
+    if config.grad_clip is not None:
+        method_kwargs["grad_clip"] = config.grad_clip
+    if config.method == "hero":
+        method_kwargs.update(
+            h=config.h,
+            gamma=config.gamma,
+            penalty=config.penalty,
+            perturbation=config.perturbation,
+        )
+    elif config.method == "first_order":
+        method_kwargs.update(h=config.h, perturbation=config.perturbation)
+    elif config.method == "grad_l1":
+        method_kwargs.update(lambda_l1=config.lambda_l1)
+    return make_trainer(
+        config.method,
+        model,
+        loss_fn,
+        optimizer,
+        scheduler=scheduler,
+        callbacks=callbacks,
+        **method_kwargs,
+    )
+
+
+def evaluate_accuracy(model, dataset, batch_size=160):
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode)."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            idx = np.arange(start, min(start + batch_size, len(dataset)))
+            x, y = dataset[idx]
+            logits = model(Tensor(x)).data
+            correct += int((logits.argmax(axis=1) == y).sum())
+    model.train()
+    return correct / len(dataset)
+
+
+def accuracy_eval_fn(dataset, batch_size=160):
+    """Closure evaluating models on ``dataset`` (for PTQ sweeps)."""
+    return lambda model: evaluate_accuracy(model, dataset, batch_size=batch_size)
+
+
+def run_training(config, callbacks=(), cache_dir=DEFAULT_CACHE_DIR, force=False, verbose=False):
+    """Train (or load from cache) the run described by ``config``.
+
+    Caching stores the final state dict, history and metrics; a cached
+    run restores the exact trained weights, so downstream analysis
+    (quantization sweeps, landscapes) is identical to a fresh run.
+    Runs that attach callbacks producing per-epoch extras are cached
+    too — the callback-computed columns live inside the history.
+    """
+    train, test, spec = load_experiment_data(config)
+    model = build_model(config, spec)
+
+    cache_path = None
+    if cache_dir:
+        cache_path = os.path.join(cache_dir, config.cache_key())
+        if not force and _cache_complete(cache_path):
+            state, history, metrics = _cache_load(cache_path)
+            model.load_state_dict(state)
+            return RunResult(
+                config=config,
+                model=model,
+                history=history,
+                train_acc=metrics["train_acc"],
+                test_acc=metrics["test_acc"],
+                from_cache=True,
+            )
+
+    trainer = build_trainer(config, model, callbacks=callbacks)
+    transform = standard_augment() if config.augment else None
+    train_loader = DataLoader(
+        train,
+        batch_size=config.batch_size,
+        shuffle=True,
+        transform=transform,
+        seed=config.seed + 1,
+    )
+    test_loader = DataLoader(test, batch_size=160, shuffle=False, seed=config.seed + 2)
+    history = trainer.fit(train_loader, config.epochs, test_loader=test_loader, verbose=verbose)
+
+    train_acc = evaluate_accuracy(model, train)
+    test_acc = evaluate_accuracy(model, test)
+    result = RunResult(
+        config=config,
+        model=model,
+        history=history,
+        train_acc=train_acc,
+        test_acc=test_acc,
+    )
+    if cache_path:
+        _cache_store(cache_path, model, history, train_acc, test_acc)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Cache plumbing
+# ----------------------------------------------------------------------
+def _cache_complete(path):
+    return all(
+        os.path.exists(os.path.join(path, name))
+        for name in ("state.npz", "history.json", "metrics.json")
+    )
+
+
+def _cache_store(path, model, history, train_acc, test_acc):
+    os.makedirs(path, exist_ok=True)
+    state = model.state_dict()
+    np.savez(os.path.join(path, "state.npz"), **state)
+    with open(os.path.join(path, "history.json"), "w") as fh:
+        json.dump(history.to_dict(), fh)
+    with open(os.path.join(path, "metrics.json"), "w") as fh:
+        json.dump({"train_acc": train_acc, "test_acc": test_acc}, fh)
+
+
+def _cache_load(path):
+    with np.load(os.path.join(path, "state.npz")) as archive:
+        state = {name: archive[name] for name in archive.files}
+    with open(os.path.join(path, "history.json")) as fh:
+        columns = json.load(fh)
+    history = History()
+    if columns:
+        length = max(len(col) for col in columns.values())
+        for i in range(length):
+            row = {
+                key: col[i]
+                for key, col in columns.items()
+                if i < len(col) and col[i] is not None
+            }
+            history.log(**row)
+    with open(os.path.join(path, "metrics.json")) as fh:
+        metrics = json.load(fh)
+    return state, history, metrics

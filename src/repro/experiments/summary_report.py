@@ -1,0 +1,53 @@
+"""Aggregate benchmark artifacts into a single markdown report.
+
+Reads the ``.txt`` renderings that the benchmark suite writes to
+``benchmarks/results/`` and stitches them into one document — the
+"measured" half of EXPERIMENTS.md.
+"""
+
+import os
+
+#: Order and titles of the report sections.
+SECTIONS = (
+    ("table1", "Table 1 — test accuracy"),
+    ("table2", "Table 2 — noisy-label training"),
+    ("table3", "Table 3 — gradient-rule ablation under PTQ"),
+    ("fig1", "Figure 1 — PTQ accuracy vs precision"),
+    ("fig1_schemes", "Figure 1 (schemes) — 4-bit accuracy across quantizers"),
+    ("fig2", "Figure 2 — ||Hz|| and generalization gap"),
+    ("fig3", "Figure 3 — loss contours"),
+    ("theory_theorem3", "Theorem 3 — perturbation bounds"),
+    ("qat_motivation", "Sec. 2.2 — QAT vs on-the-fly precision change"),
+    ("ablation_design", "Ablations — design choices"),
+    ("ablation_grids", "Ablations — h and gamma grids"),
+)
+
+
+def collect_results_markdown(results_dir, title="Measured results"):
+    """Render every present artifact as a fenced block under its title."""
+    lines = [f"# {title}", ""]
+    missing = []
+    for stem, section_title in SECTIONS:
+        path = os.path.join(results_dir, f"{stem}.txt")
+        if not os.path.exists(path):
+            missing.append(stem)
+            continue
+        with open(path) as fh:
+            content = fh.read().rstrip()
+        lines.append(f"## {section_title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(content)
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append(f"_Artifacts not present in this run: {', '.join(missing)}_")
+    return "\n".join(lines)
+
+
+def write_results_markdown(results_dir, output_path, title="Measured results"):
+    """Write the aggregated report; returns the output path."""
+    content = collect_results_markdown(results_dir, title=title)
+    with open(output_path, "w") as fh:
+        fh.write(content + "\n")
+    return output_path

@@ -1,0 +1,49 @@
+"""``repro.hessian`` — curvature measurement tools.
+
+Hessian-vector products (exact and finite-difference), dominant
+eigenvalues (power iteration / Lanczos), Hutchinson trace and Eq. 13's
+``sum lambda_i^2`` estimator, and the paper's ``||Hz||`` metric.
+"""
+
+from .hvp import (
+    batch_gradients,
+    hvp_exact,
+    hvp_finite_diff,
+    model_params,
+    restore_buffers,
+    snapshot_buffers,
+)
+from .eigen import power_iteration, lanczos_eigenvalues
+from .trace import hutchinson_trace, eigenvalue_square_sum
+from .norm import hz_norm, hz_norm_on_batch
+from .dense import full_hessian, hessian_spectrum, parameter_count
+from .bounds import (
+    bound_l2,
+    bound_linf,
+    gradl1_limit_linf,
+    theorem3_bounds,
+    empirical_loss_increase,
+)
+
+__all__ = [
+    "full_hessian",
+    "hessian_spectrum",
+    "parameter_count",
+    "bound_l2",
+    "bound_linf",
+    "gradl1_limit_linf",
+    "theorem3_bounds",
+    "empirical_loss_increase",
+    "batch_gradients",
+    "hvp_exact",
+    "hvp_finite_diff",
+    "model_params",
+    "snapshot_buffers",
+    "restore_buffers",
+    "power_iteration",
+    "lanczos_eigenvalues",
+    "hutchinson_trace",
+    "eigenvalue_square_sum",
+    "hz_norm",
+    "hz_norm_on_batch",
+]

@@ -1,0 +1,53 @@
+"""Dense Hessian assembly for small models.
+
+For models with up to a few thousand parameters the full Hessian is
+tractable: one exact HVP per basis vector.  Used to validate the
+iterative estimators (power iteration, Lanczos, Hutchinson) against
+``numpy.linalg.eigh`` ground truth, and to inspect curvature spectra
+of toy models directly.
+"""
+
+import numpy as np
+
+from .hvp import hvp_exact, model_params
+
+
+def parameter_count(model):
+    """Total scalar parameter count."""
+    return int(sum(p.size for p in model_params(model)))
+
+
+def full_hessian(model, loss_fn, x, y, max_params=4000):
+    """Assemble the dense Hessian of the batch loss.
+
+    Refuses to run on models with more than ``max_params`` parameters
+    (quadratic memory, one backprop pair per column).
+    Returns an ``(n, n)`` symmetric matrix in flat parameter order.
+    """
+    params = model_params(model)
+    n = parameter_count(model)
+    if n > max_params:
+        raise ValueError(
+            f"model has {n} parameters; dense Hessian capped at {max_params}"
+        )
+    shapes = [p.shape for p in params]
+    sizes = [p.size for p in params]
+    hessian = np.empty((n, n))
+    for column in range(n):
+        flat = np.zeros(n)
+        flat[column] = 1.0
+        vectors = []
+        offset = 0
+        for shape, size in zip(shapes, sizes):
+            vectors.append(flat[offset : offset + size].reshape(shape))
+            offset += size
+        hv = hvp_exact(model, loss_fn, x, y, vectors)
+        hessian[:, column] = np.concatenate([v.reshape(-1) for v in hv])
+    return hessian
+
+
+def hessian_spectrum(model, loss_fn, x, y, max_params=4000):
+    """Eigenvalues (ascending) of the dense Hessian."""
+    hessian = full_hessian(model, loss_fn, x, y, max_params=max_params)
+    # Symmetrize against numerical asymmetry before eigh.
+    return np.linalg.eigvalsh(0.5 * (hessian + hessian.T))

@@ -1,0 +1,114 @@
+"""Hessian-vector products for the loss of a model.
+
+Two implementations are provided and cross-checked in the tests:
+
+* :func:`hvp_exact` — double backpropagation (``create_graph=True``),
+  mathematically exact;
+* :func:`hvp_finite_diff` — central difference of gradients, the
+  approximation HERO's training objective itself is built on (Eq. 14).
+
+Both operate per-parameter-tensor, on a fixed batch, with BatchNorm
+buffers snapshotted and restored so measurement has no side effects.
+"""
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+def model_params(model):
+    """List the model's trainable parameters (fixed order)."""
+    return list(model.parameters())
+
+
+def snapshot_buffers(model):
+    """Copy all registered buffers (e.g. BN running stats)."""
+    return {name: buf.copy() for name, buf in model.named_buffers()}
+
+
+def restore_buffers(model, snapshot):
+    """Restore buffers saved by :func:`snapshot_buffers`."""
+    for name, value in snapshot.items():
+        owner = model
+        parts = name.split(".")
+        for part in parts[:-1]:
+            owner = owner._modules[part]
+        owner.set_buffer(parts[-1], value)
+
+
+def batch_gradients(model, loss_fn, x, y, create_graph=False):
+    """Gradients of the batch loss w.r.t. all parameters.
+
+    Returns ``(loss_value, grads)`` where grads are numpy copies when
+    ``create_graph`` is false, and graph tensors otherwise.  Parameter
+    ``.grad`` slots are left clean.
+    """
+    params = model_params(model)
+    for p in params:
+        p.grad = None
+    loss = loss_fn(model(Tensor(x)), y)
+    loss.backward(create_graph=create_graph)
+    grads = []
+    for p in params:
+        if p.grad is None:
+            grads.append(
+                Tensor(np.zeros_like(p.data)) if create_graph else np.zeros_like(p.data)
+            )
+        else:
+            grads.append(p.grad if create_graph else p.grad.data.copy())
+        p.grad = None
+    return float(loss.data), grads
+
+
+def hvp_exact(model, loss_fn, x, y, vectors):
+    """Exact ``H v`` via double backprop.
+
+    ``vectors`` is a list of numpy arrays matching the parameter
+    shapes; the result has the same structure.
+    """
+    params = model_params(model)
+    if len(vectors) != len(params):
+        raise ValueError("vectors must match the number of parameters")
+    buffers = snapshot_buffers(model)
+    try:
+        _, grads = batch_gradients(model, loss_fn, x, y, create_graph=True)
+        inner = None
+        for grad, vec in zip(grads, vectors):
+            term = (grad * Tensor(np.asarray(vec))).sum()
+            inner = term if inner is None else inner + term
+        inner.backward()
+        result = []
+        for p in params:
+            result.append(np.zeros_like(p.data) if p.grad is None else p.grad.data.copy())
+            p.grad = None
+    finally:
+        restore_buffers(model, buffers)
+    return result
+
+
+def hvp_finite_diff(model, loss_fn, x, y, vectors, eps=1e-3):
+    """Central-difference ``H v ~ (g(W + eps v) - g(W - eps v)) / 2 eps``.
+
+    ``eps`` is scaled by the vector norm so the probe stays well inside
+    the quadratic regime regardless of ``v``'s magnitude.
+    """
+    params = model_params(model)
+    if len(vectors) != len(params):
+        raise ValueError("vectors must match the number of parameters")
+    norm = np.sqrt(sum(float(np.sum(np.asarray(v) ** 2)) for v in vectors))
+    if norm == 0:
+        return [np.zeros_like(p.data) for p in params]
+    step = eps / norm
+    buffers = snapshot_buffers(model)
+    try:
+        for p, v in zip(params, vectors):
+            p.data = p.data + step * np.asarray(v)
+        _, grads_up = batch_gradients(model, loss_fn, x, y)
+        for p, v in zip(params, vectors):
+            p.data = p.data - 2.0 * step * np.asarray(v)
+        _, grads_down = batch_gradients(model, loss_fn, x, y)
+        for p, v in zip(params, vectors):
+            p.data = p.data + step * np.asarray(v)
+    finally:
+        restore_buffers(model, buffers)
+    return [(gu - gd) / (2.0 * step) for gu, gd in zip(grads_up, grads_down)]

@@ -1,0 +1,70 @@
+"""Checkpoint save/load for models and training state.
+
+Weights are stored as a flat ``.npz`` archive (the same format the
+experiment runner's cache uses) plus a JSON sidecar carrying arbitrary
+metadata — enough to resume training or ship a trained model without
+pickling code objects.
+"""
+
+import json
+import os
+
+import numpy as np
+
+
+def save_checkpoint(path, model, metadata=None, optimizer=None, history=None):
+    """Write ``model`` (and optional training state) to ``path``.
+
+    ``path`` is the ``.npz`` file; metadata/optimizer lr/history go to
+    ``path + '.json'``.  Returns the npz path.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    state = model.state_dict()
+    np.savez(path, **state)
+    sidecar = {"metadata": metadata or {}}
+    if optimizer is not None:
+        sidecar["optimizer"] = _optimizer_sidecar(optimizer)
+    if history is not None:
+        sidecar["history"] = history.to_dict()
+    with open(_sidecar_path(path), "w") as fh:
+        json.dump(sidecar, fh, indent=2, default=_jsonify)
+    return path
+
+
+def load_checkpoint(path, model):
+    """Load weights from ``path`` into ``model``; returns the sidecar dict.
+
+    The model must already have the right architecture (shape mismatch
+    raises, same as ``load_state_dict``).
+    """
+    archive_path = path if path.endswith(".npz") else path + ".npz"
+    with np.load(archive_path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    sidecar_path = _sidecar_path(archive_path)
+    if os.path.exists(sidecar_path):
+        with open(sidecar_path) as fh:
+            return json.load(fh)
+    return {"metadata": {}}
+
+
+def _sidecar_path(path):
+    return path + ".json"
+
+
+def _optimizer_sidecar(optimizer):
+    """JSON-safe subset of optimizer state (hyperparameters only)."""
+    state = optimizer.state_dict()
+    return {
+        key: value
+        for key, value in state.items()
+        if isinstance(value, (int, float, bool, str, tuple, list))
+        and key not in ("velocity", "exp_avg", "exp_avg_sq")
+    }
+
+
+def _jsonify(value):
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,30 @@
+"""``repro.landscape`` — loss-surface visualization (Li et al. [15])."""
+
+from .directions import (
+    random_direction,
+    filter_normalize,
+    orthogonalize,
+    make_plot_directions,
+)
+from .interpolation import interpolation_path, barrier_height
+from .surface import (
+    loss_surface,
+    loss_line,
+    flat_area_fraction,
+    max_loss_increase,
+    ascii_contour,
+)
+
+__all__ = [
+    "interpolation_path",
+    "barrier_height",
+    "random_direction",
+    "filter_normalize",
+    "orthogonalize",
+    "make_plot_directions",
+    "loss_surface",
+    "loss_line",
+    "flat_area_fraction",
+    "max_loss_increase",
+    "ascii_contour",
+]

@@ -1,0 +1,63 @@
+"""Random directions in weight space, filter-normalized per Li et al. [15].
+
+The paper's Fig. 3 plots the loss contour along two random directions
+using the visualization tool of [15]: each random direction ``d`` is
+rescaled filter-by-filter so ``||d_f|| = ||w_f||`` — removing the
+scale-invariance artifacts of ReLU/BN networks and making HERO-vs-SGD
+contours comparable "under the same scale".
+"""
+
+import numpy as np
+
+
+def random_direction(params, seed=0):
+    """A Gaussian random direction matching the parameter shapes."""
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(p.data.shape) for p in params]
+
+
+def filter_normalize(direction, params):
+    """Rescale ``direction`` filter-wise to the weights' norms.
+
+    * Conv weights (4-D): per output filter ``w[j]``.
+    * Linear weights (2-D): per output row.
+    * 1-D parameters (biases, BN scale/shift): zeroed, following [15]
+      — perturbing them dominates the picture without being
+      informative about the conv/fc landscape.
+    """
+    normalized = []
+    for d, p in zip(direction, params):
+        w = p.data
+        if w.ndim >= 2:
+            d_new = d.copy()
+            flat_d = d_new.reshape(w.shape[0], -1)
+            flat_w = w.reshape(w.shape[0], -1)
+            d_norms = np.linalg.norm(flat_d, axis=1, keepdims=True)
+            w_norms = np.linalg.norm(flat_w, axis=1, keepdims=True)
+            scale = np.where(d_norms > 1e-12, w_norms / np.maximum(d_norms, 1e-12), 0.0)
+            normalized.append((flat_d * scale).reshape(w.shape))
+        else:
+            normalized.append(np.zeros_like(w))
+    return normalized
+
+
+def orthogonalize(direction, reference):
+    """Remove from ``direction`` its component along ``reference``.
+
+    Keeps two plotting axes from being accidentally correlated, which
+    would squash the 2-D contour.
+    """
+    dot = sum(float(np.sum(d * r)) for d, r in zip(direction, reference))
+    ref_sq = sum(float(np.sum(r * r)) for r in reference)
+    if ref_sq < 1e-20:
+        return [d.copy() for d in direction]
+    coef = dot / ref_sq
+    return [d - coef * r for d, r in zip(direction, reference)]
+
+
+def make_plot_directions(params, seed=0):
+    """Two filter-normalized, mutually orthogonalized directions."""
+    d1 = filter_normalize(random_direction(params, seed=seed), params)
+    d2_raw = random_direction(params, seed=seed + 1)
+    d2 = filter_normalize(orthogonalize(d2_raw, d1), params)
+    return d1, d2

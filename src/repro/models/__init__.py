@@ -1,0 +1,42 @@
+"""``repro.models`` — the architectures evaluated in the HERO paper.
+
+ResNet20 / ResNet18 (He et al.), MobileNetV2 (Sandler et al.) and
+VGG-BN (Simonyan & Zisserman) families, plus an MLP for toy tasks,
+all width-scalable for CPU-budget experiments.
+"""
+
+from .resnet import (
+    CifarResNet,
+    ImageNetStyleResNet,
+    BasicBlock,
+    resnet8,
+    resnet8_gn,
+    resnet18,
+    resnet20,
+)
+from .mobilenetv2 import MobileNetV2, InvertedResidual, ConvBNReLU6, mobilenet_v2
+from .vgg import VGG, vgg6_bn, vgg8_bn, CONFIGS
+from .mlp import MLP
+from .registry import available_models, create_model, register_model
+
+__all__ = [
+    "CifarResNet",
+    "ImageNetStyleResNet",
+    "BasicBlock",
+    "resnet8",
+    "resnet8_gn",
+    "resnet18",
+    "resnet20",
+    "MobileNetV2",
+    "InvertedResidual",
+    "ConvBNReLU6",
+    "mobilenet_v2",
+    "VGG",
+    "vgg6_bn",
+    "vgg8_bn",
+    "CONFIGS",
+    "MLP",
+    "available_models",
+    "create_model",
+    "register_model",
+]

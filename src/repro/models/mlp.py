@@ -1,0 +1,43 @@
+"""Multi-layer perceptron — used by quickstart examples and unit tests."""
+
+import numpy as np
+
+from .. import nn
+
+
+class MLP(nn.Module):
+    """Fully-connected classifier with configurable hidden widths.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality (images are flattened by the caller or by
+        passing 4-D input, which this module flattens itself).
+    hidden:
+        Iterable of hidden-layer widths.
+    num_classes:
+        Output dimensionality.
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    """
+
+    def __init__(self, in_features, hidden=(64, 64), num_classes=2, activation="relu", rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        acts = {"relu": nn.ReLU, "tanh": nn.Tanh}
+        if activation not in acts:
+            raise KeyError(f"unknown activation {activation!r}")
+        layers = []
+        width = in_features
+        for h in hidden:
+            layers.append(nn.Linear(width, h, rng=rng))
+            layers.append(acts[activation]())
+            width = h
+        layers.append(nn.Linear(width, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+        self.in_features = in_features
+
+    def forward(self, x):
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)

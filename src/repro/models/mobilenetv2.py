@@ -1,0 +1,142 @@
+"""MobileNetV2 (Sandler et al. [20]): inverted residuals, depthwise convs.
+
+The paper highlights MobileNetV2 as the compact model where HERO's
+gains are largest (Tables 1-3, Fig. 1).  This implementation keeps the
+defining structure — 1x1 expansion, 3x3 depthwise convolution, 1x1
+linear projection, residual when shapes allow, ReLU6 activations — with
+a width/strides configuration sized for small synthetic images.
+"""
+
+import numpy as np
+
+from .. import nn
+
+
+def _make_divisible(value, divisor=4):
+    """Round channel counts to a multiple of ``divisor`` (min: divisor)."""
+    return max(divisor, int(round(value / divisor)) * divisor)
+
+
+class ConvBNReLU6(nn.Module):
+    """conv -> BN -> ReLU6, the MobileNet building brick."""
+
+    def __init__(self, in_channels, out_channels, kernel_size=3, stride=1, groups=1, rng=None):
+        super().__init__()
+        padding = (kernel_size - 1) // 2
+        self.conv = nn.Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            bias=False,
+            rng=rng,
+        )
+        self.bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x):
+        return self.bn(self.conv(x)).clip(0.0, 6.0)
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 block: expand (1x1) -> depthwise (3x3) -> project (1x1)."""
+
+    def __init__(self, in_channels, out_channels, stride, expand_ratio, rng=None):
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError(f"stride must be 1 or 2, got {stride}")
+        hidden = int(round(in_channels * expand_ratio))
+        self.use_residual = stride == 1 and in_channels == out_channels
+        layers = []
+        if expand_ratio != 1:
+            layers.append(ConvBNReLU6(in_channels, hidden, kernel_size=1, rng=rng))
+        layers.append(
+            ConvBNReLU6(hidden, hidden, kernel_size=3, stride=stride, groups=hidden, rng=rng)
+        )
+        self.features = nn.Sequential(*layers)
+        # Linear bottleneck: no activation after projection.
+        self.project = nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng)
+        self.project_bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x):
+        out = self.project_bn(self.project(self.features(x)))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+# (expand_ratio, out_channels, num_blocks, first_stride) per stage.
+# The reference network uses 7 stages on 32x32+; this scaled profile
+# keeps the stage pattern (t=1 first, t=6 after; two downsamples) at
+# CPU-friendly width for 8-16 px synthetic images.
+SMALL_SETTINGS = (
+    (1, 8, 1, 1),
+    (6, 12, 2, 2),
+    (6, 16, 2, 2),
+    (6, 24, 1, 1),
+)
+
+REFERENCE_SETTINGS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+class MobileNetV2(nn.Module):
+    """MobileNetV2 backbone + linear classifier.
+
+    Parameters
+    ----------
+    num_classes, in_channels:
+        Task shape.
+    width_mult:
+        Multiplies every channel count (rounded to a multiple of 4).
+    settings:
+        Stage table ``(expand_ratio, channels, blocks, stride)``;
+        defaults to the CPU-scaled profile.
+    """
+
+    def __init__(
+        self,
+        num_classes=10,
+        in_channels=3,
+        width_mult=1.0,
+        settings=SMALL_SETTINGS,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        stem_channels = _make_divisible(8 * width_mult)
+        self.stem = ConvBNReLU6(in_channels, stem_channels, kernel_size=3, stride=1, rng=rng)
+        blocks = []
+        channels = stem_channels
+        for expand_ratio, out_base, num_blocks, first_stride in settings:
+            out_channels = _make_divisible(out_base * width_mult)
+            for block_index in range(num_blocks):
+                stride = first_stride if block_index == 0 else 1
+                blocks.append(
+                    InvertedResidual(channels, out_channels, stride, expand_ratio, rng=rng)
+                )
+                channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        head_channels = _make_divisible(channels * 4)
+        self.head = ConvBNReLU6(channels, head_channels, kernel_size=1, rng=rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(head_channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stem(x)
+        out = self.blocks(out)
+        out = self.head(out)
+        return self.classifier(self.pool(out))
+
+
+def mobilenet_v2(num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+    """CPU-scaled MobileNetV2 (see ``SMALL_SETTINGS``)."""
+    return MobileNetV2(num_classes, in_channels, width_mult, SMALL_SETTINGS, rng)

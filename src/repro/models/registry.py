@@ -1,0 +1,86 @@
+"""Model registry: name -> factory, used by the experiment harness.
+
+Factories accept ``num_classes``, ``in_channels``, a scale knob and an
+``rng``; experiment configs refer to models by these names so the
+mapping from the paper's tables to code stays declarative.
+"""
+
+import numpy as np
+
+from .mlp import MLP
+from .mobilenetv2 import mobilenet_v2
+from .resnet import resnet8, resnet8_gn, resnet18, resnet20
+from .vgg import vgg6_bn, vgg8_bn
+
+
+def _mlp_factory(num_classes=2, in_channels=2, scale=1.0, rng=None, image_size=None):
+    in_features = in_channels if image_size is None else in_channels * image_size * image_size
+    hidden = (int(64 * scale), int(64 * scale))
+    return MLP(in_features, hidden=hidden, num_classes=num_classes, rng=rng)
+
+
+_REGISTRY = {
+    "resnet20": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: resnet20(
+        num_classes, in_channels, base_width=max(4, int(16 * scale)), rng=rng
+    ),
+    "resnet8": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: resnet8(
+        num_classes, in_channels, base_width=max(4, int(8 * scale)), rng=rng
+    ),
+    "resnet8_gn": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: resnet8_gn(
+        num_classes, in_channels, base_width=max(4, int(8 * scale)), rng=rng
+    ),
+    "resnet18": lambda num_classes=100, in_channels=3, scale=1.0, rng=None, image_size=None: resnet18(
+        num_classes, in_channels, base_width=max(4, int(16 * scale)), rng=rng
+    ),
+    "mobilenetv2": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: mobilenet_v2(
+        num_classes, in_channels, width_mult=scale, rng=rng
+    ),
+    "vgg8_bn": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: vgg8_bn(
+        num_classes, in_channels, width_mult=scale, rng=rng
+    ),
+    "vgg6_bn": lambda num_classes=10, in_channels=3, scale=1.0, rng=None, image_size=None: vgg6_bn(
+        num_classes, in_channels, width_mult=scale, rng=rng
+    ),
+    "mlp": _mlp_factory,
+}
+
+
+def available_models():
+    """Sorted list of registered model names."""
+    return sorted(_REGISTRY)
+
+
+def create_model(name, num_classes, in_channels=3, scale=1.0, seed=None, image_size=None):
+    """Instantiate a registered model deterministically.
+
+    Parameters
+    ----------
+    name:
+        Registry key (see :func:`available_models`).
+    num_classes, in_channels:
+        Task shape.
+    scale:
+        Width multiplier — 1.0 is the scaled-reference profile used in
+        experiments, smaller values for faster tests.
+    seed:
+        Initialization seed (``None`` for nondeterministic init).
+    image_size:
+        Needed only by models without global pooling (the MLP).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    rng = np.random.default_rng(seed)
+    return _REGISTRY[name](
+        num_classes=num_classes,
+        in_channels=in_channels,
+        scale=scale,
+        rng=rng,
+        image_size=image_size,
+    )
+
+
+def register_model(name, factory):
+    """Add a custom factory (used by downstream code and tests)."""
+    if name in _REGISTRY:
+        raise KeyError(f"model {name!r} already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,161 @@
+"""CIFAR-style residual networks (He et al. [9]).
+
+The paper evaluates ResNet20 (CIFAR) and ResNet18 (ImageNet).  Both are
+provided here, parameterized by ``base_width`` so experiments can run
+at CPU-friendly scale while exercising the same architecture family:
+3x3 conv stem, stacked basic blocks over three (CIFAR) or four
+(ImageNet-style) stages, global average pooling, linear classifier.
+"""
+
+import numpy as np
+
+from .. import nn
+
+
+def _make_norm(norm, channels):
+    """Normalization factory: ``"batch"`` (paper) or ``"group"``.
+
+    GroupNorm (4 channels per group, capped by the channel count) is
+    offered for very small batch regimes where BatchNorm statistics are
+    unreliable; it also removes the running-statistics side effects of
+    HERO's double forward pass.
+    """
+    if norm == "batch":
+        return nn.BatchNorm2d(channels)
+    if norm == "group":
+        groups = max(1, channels // 4)
+        while channels % groups:
+            groups -= 1
+        return nn.GroupNorm(groups, channels)
+    raise ValueError(f"norm must be 'batch' or 'group', got {norm!r}")
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 conv-norm pairs with an additive shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels, out_channels, stride=1, rng=None, norm="batch"):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = nn.Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = _make_norm(norm, out_channels)
+        self.conv2 = nn.Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng
+        )
+        self.bn2 = _make_norm(norm, out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(
+                    in_channels, out_channels, 1, stride=stride, bias=False, rng=rng
+                ),
+                _make_norm(norm, out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return out.relu()
+
+
+class CifarResNet(nn.Module):
+    """ResNet for small images: stem + 3 stages + GAP + linear.
+
+    ``depth`` must be ``6n + 2`` (20, 32, 44, ... or 8 for a fast
+    variant); ``base_width`` is the stem channel count (16 in the
+    paper's ResNet20; smaller for CPU-scale runs).
+    """
+
+    def __init__(
+        self, depth=20, num_classes=10, in_channels=3, base_width=16, rng=None, norm="batch"
+    ):
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError(f"CifarResNet depth must be 6n+2, got {depth}")
+        blocks_per_stage = (depth - 2) // 6
+        rng = rng if rng is not None else np.random.default_rng()
+        w = base_width
+        self.depth = depth
+        self.conv1 = nn.Conv2d(in_channels, w, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = _make_norm(norm, w)
+        self.stage1 = self._make_stage(w, w, blocks_per_stage, 1, rng, norm)
+        self.stage2 = self._make_stage(w, 2 * w, blocks_per_stage, 2, rng, norm)
+        self.stage3 = self._make_stage(2 * w, 4 * w, blocks_per_stage, 2, rng, norm)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(4 * w, num_classes, rng=rng)
+
+    @staticmethod
+    def _make_stage(in_channels, out_channels, blocks, stride, rng, norm="batch"):
+        layers = [BasicBlock(in_channels, out_channels, stride, rng=rng, norm=norm)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlock(out_channels, out_channels, 1, rng=rng, norm=norm))
+        return nn.Sequential(*layers)
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        return self.fc(self.pool(out))
+
+
+class ImageNetStyleResNet(nn.Module):
+    """ResNet18-style network: 4 stages with channel doubling.
+
+    Scaled for this reproduction's "imagenet-like" synthetic dataset —
+    the stem uses a 3x3 convolution (inputs are small), but the stage
+    structure matches ResNet18's [2, 2, 2, 2] basic-block layout.
+    """
+
+    def __init__(
+        self,
+        layers=(2, 2, 2, 2),
+        num_classes=100,
+        in_channels=3,
+        base_width=16,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        w = base_width
+        self.conv1 = nn.Conv2d(in_channels, w, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(w)
+        self.stage1 = CifarResNet._make_stage(w, w, layers[0], 1, rng)
+        self.stage2 = CifarResNet._make_stage(w, 2 * w, layers[1], 2, rng)
+        self.stage3 = CifarResNet._make_stage(2 * w, 4 * w, layers[2], 2, rng)
+        self.stage4 = CifarResNet._make_stage(4 * w, 8 * w, layers[3], 2, rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(8 * w, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.stage4(out)
+        return self.fc(self.pool(out))
+
+
+def resnet20(num_classes=10, in_channels=3, base_width=16, rng=None):
+    """The paper's CIFAR ResNet20."""
+    return CifarResNet(20, num_classes, in_channels, base_width, rng)
+
+
+def resnet8(num_classes=10, in_channels=3, base_width=8, rng=None):
+    """A 6n+2 = 8 layer variant for fast CPU experiments."""
+    return CifarResNet(8, num_classes, in_channels, base_width, rng)
+
+
+def resnet8_gn(num_classes=10, in_channels=3, base_width=8, rng=None):
+    """GroupNorm variant of :func:`resnet8` (batch-size-robust)."""
+    return CifarResNet(8, num_classes, in_channels, base_width, rng, norm="group")
+
+
+def resnet18(num_classes=100, in_channels=3, base_width=16, rng=None):
+    """ResNet18-style model (the paper's ImageNet scalability check)."""
+    return ImageNetStyleResNet((2, 2, 2, 2), num_classes, in_channels, base_width, rng)

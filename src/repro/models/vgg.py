@@ -1,0 +1,75 @@
+"""VGG with batch normalization (Simonyan & Zisserman [21]).
+
+The paper uses VGG19BN as its large, quantization-sensitive model.
+Configurations are the classic channel lists with 'M' for max-pooling;
+global average pooling in the head makes the network input-size
+agnostic so the same code runs on 8-32 px synthetic images.
+"""
+
+import numpy as np
+
+from .. import nn
+
+CONFIGS = {
+    # Scaled-down profiles for CPU experiments (pattern preserved:
+    # doubling channels, pool between stages).
+    "vgg6": (16, "M", 32, "M", 64, 64, "M"),
+    "vgg8": (16, 16, "M", 32, 32, "M", 64, 64, "M"),
+    # Reference-shaped profiles (full channel plan; expensive on CPU).
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg19": (
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, 256, "M",
+        512, 512, 512, 512, "M",
+        512, 512, 512, 512, "M",
+    ),
+}
+
+
+class VGG(nn.Module):
+    """VGG-BN feature extractor + GAP + linear classifier."""
+
+    def __init__(self, config="vgg8", num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if isinstance(config, str):
+            if config not in CONFIGS:
+                raise KeyError(f"unknown VGG config {config!r}; have {sorted(CONFIGS)}")
+            plan = CONFIGS[config]
+        else:
+            plan = tuple(config)
+        self.config = config
+        layers = []
+        channels = in_channels
+        last_conv_channels = None
+        for item in plan:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2, 2))
+                continue
+            out_channels = max(4, int(round(item * width_mult)))
+            layers.append(
+                nn.Conv2d(channels, out_channels, 3, padding=1, bias=False, rng=rng)
+            )
+            layers.append(nn.BatchNorm2d(out_channels))
+            layers.append(nn.ReLU())
+            channels = out_channels
+            last_conv_channels = out_channels
+        if last_conv_channels is None:
+            raise ValueError("VGG config contains no convolution layers")
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(last_conv_channels, num_classes, rng=rng)
+
+    def forward(self, x):
+        return self.classifier(self.pool(self.features(x)))
+
+
+def vgg8_bn(num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+    """Scaled VGG-BN used as the paper's 'VGG19BN' stand-in."""
+    return VGG("vgg8", num_classes, in_channels, width_mult, rng)
+
+
+def vgg6_bn(num_classes=10, in_channels=3, width_mult=1.0, rng=None):
+    """Smallest VGG-BN profile (fast tests)."""
+    return VGG("vgg6", num_classes, in_channels, width_mult, rng)

@@ -1,0 +1,45 @@
+"""Activation layers."""
+
+from .module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x):
+        return x.relu()
+
+
+class ReLU6(Module):
+    """ReLU capped at 6 — MobileNetV2's activation."""
+
+    def forward(self, x):
+        return x.clip(0.0, 6.0)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x):
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU: ``max(x, slope * x)``."""
+
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return x.maximum(x * self.negative_slope)
+
+    def __repr__(self):
+        return f"LeakyReLU(negative_slope={self.negative_slope})"

@@ -1,0 +1,70 @@
+"""Smooth activations: GELU, SiLU, Softplus, ELU.
+
+Smooth activations matter specifically for Hessian work: ReLU networks
+have zero second derivative almost everywhere *within* a linear region,
+so curvature concentrates at kink crossings; GELU/SiLU/Softplus give
+HERO's penalty a dense, well-defined Hessian.  All are composites of
+``exp``/``tanh``/``sigmoid`` primitives, hence arbitrarily
+differentiable.
+"""
+
+import math
+
+from .module import Module
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT).
+
+    ``0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``
+    """
+
+    _COEF = math.sqrt(2.0 / math.pi)
+
+    def forward(self, x):
+        inner = (x + 0.044715 * (x * x * x)) * self._COEF
+        return 0.5 * x * (1.0 + inner.tanh())
+
+
+class SiLU(Module):
+    """Sigmoid-weighted linear unit (swish): ``x * sigmoid(x)``."""
+
+    def forward(self, x):
+        return x * x.sigmoid()
+
+
+class Softplus(Module):
+    """Smooth ReLU: ``log(1 + exp(beta x)) / beta`` (numerically stable)."""
+
+    def __init__(self, beta=1.0):
+        super().__init__()
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+
+    def forward(self, x):
+        # softplus(z) = max(z, 0) + log(1 + exp(-|z|)); the relu/abs
+        # masks are locally constant so differentiability is preserved
+        # away from 0, and the exp argument is always non-positive.
+        z = x * self.beta
+        return (z.relu() + (1.0 + (-z.abs()).exp()).log()) * (1.0 / self.beta)
+
+    def __repr__(self):
+        return f"Softplus(beta={self.beta})"
+
+
+class ELU(Module):
+    """Exponential linear unit: ``x`` for ``x>0``, ``alpha (e^x - 1)`` else."""
+
+    def __init__(self, alpha=1.0):
+        super().__init__()
+        self.alpha = float(alpha)
+
+    def forward(self, x):
+        from ..tensor import where
+
+        negative = self.alpha * ((-x.abs()).exp() - 1.0)
+        return where(x.data > 0, x, negative)
+
+    def __repr__(self):
+        return f"ELU(alpha={self.alpha})"

@@ -1,0 +1,193 @@
+"""2-D convolution via im2col gather + (batched) matmul.
+
+Expressing convolution as ``TakeFlat`` -> ``MatMul`` means every step of
+the forward pass has a graph-valued backward rule, so convolutional
+networks are twice differentiable — a hard requirement for HERO's
+double backprop (Eq. 16) and the GRAD-L1 baseline.
+
+Grouped convolution (including depthwise, ``groups == in_channels``,
+as used by MobileNetV2) maps onto a single 3-D batched matmul over the
+group axis — no Python-level loop over groups.
+"""
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+
+_INDEX_CACHE = {}
+
+
+def _pair(value):
+    """Normalize an int-or-pair argument to a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected an int or a pair, got {value!r}")
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))
+
+
+def conv_output_size(size, kernel, stride, padding, dilation=1):
+    """Spatial output size of a convolution along one dimension."""
+    effective = dilation * (kernel - 1) + 1
+    return (size + 2 * padding - effective) // stride + 1
+
+
+def im2col_indices(in_shape, kernel, stride, dilation):
+    """Flat gather indices turning a padded NCHW tensor into patches.
+
+    Returns an int array of shape ``(N, OH*OW, C, KH*KW)`` whose entries
+    index into the *flattened padded* input; gathering with it yields,
+    for every output location, the receptive-field window of every
+    channel.  Results are memoized — models reuse the same shapes every
+    step.
+    """
+    key = (in_shape, kernel, stride, dilation)
+    cached = _INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    n, c, hp, wp = in_shape
+    kh, kw = kernel
+    sh, sw = stride
+    dh, dw = dilation
+    oh = conv_output_size(hp, kh, sh, 0, dh)
+    ow = conv_output_size(wp, kw, sw, 0, dw)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride} does not fit input {in_shape}"
+        )
+
+    out_rows = np.arange(oh * ow) // ow  # (OHW,)
+    out_cols = np.arange(oh * ow) % ow
+    ker_rows = np.arange(kh * kw) // kw  # (KK,)
+    ker_cols = np.arange(kh * kw) % kw
+    rows = out_rows[:, None] * sh + ker_rows[None, :] * dh  # (OHW, KK)
+    cols = out_cols[:, None] * sw + ker_cols[None, :] * dw
+
+    n_idx = np.arange(n)[:, None, None, None]
+    c_idx = np.arange(c)[None, None, :, None]
+    flat = ((n_idx * c + c_idx) * hp + rows[None, :, None, :]) * wp
+    flat = flat + cols[None, :, None, :]
+    result = (flat.astype(np.int64), oh, ow)
+    _INDEX_CACHE[key] = result
+    return result
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0, dilation=1, groups=1):
+    """Functional 2-D convolution (NCHW layout).
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    dilation = _pair(dilation)
+    n, c, _h, _w = x.shape
+    oc, c_per_group, kh, kw = weight.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"input channels {c} incompatible with weight {weight.shape} "
+            f"and groups={groups}"
+        )
+    if oc % groups:
+        raise ValueError(f"out_channels {oc} not divisible by groups {groups}")
+
+    if padding != (0, 0):
+        ph, pw = padding
+        x = x.pad(((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    indices, oh, ow = im2col_indices(x.shape, (kh, kw), stride, dilation)
+    patches = x.take_flat(indices)  # (N, OHW, C, KK)
+
+    oc_per_group = oc // groups
+    ohw = oh * ow
+    cols = (
+        patches.reshape(n, ohw, groups, c_per_group * kh * kw)
+        .transpose((2, 0, 1, 3))
+        .reshape(groups, n * ohw, c_per_group * kh * kw)
+    )
+    kernel = weight.reshape(groups, oc_per_group, c_per_group * kh * kw).transpose(
+        (0, 2, 1)
+    )
+    out = cols @ kernel  # (G, N*OHW, OCg)
+    out = (
+        out.reshape(groups, n, oh, ow, oc_per_group)
+        .transpose((1, 0, 4, 2, 3))
+        .reshape(n, oc, oh, ow)
+    )
+    if bias is not None:
+        out = out + bias.reshape(1, oc, 1, 1)
+    return out
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; ``out_channels`` must be divisible by ``groups``.
+    kernel_size, stride, padding, dilation:
+        Int or (h, w) pair, numpy/PyTorch semantics.
+    groups:
+        Channel groups; ``groups == in_channels`` gives a depthwise
+        convolution (MobileNetV2's workhorse).
+    bias:
+        Include the additive per-channel bias.
+    """
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        dilation=1,
+        groups=1,
+        bias=True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        kh, kw = _pair(kernel_size)
+        if in_channels % groups:
+            raise ValueError(
+                f"in_channels {in_channels} not divisible by groups {groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.dilation = _pair(dilation)
+        self.groups = groups
+        self.weight = Parameter(
+            np.empty((out_channels, in_channels // groups, kh, kw))
+        )
+        init.kaiming_normal_(self.weight, rng)
+        if bias:
+            fan_in = (in_channels // groups) * kh * kw
+            self.bias = Parameter(np.empty(out_channels))
+            init.linear_bias_(self.bias, rng, fan_in)
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        return conv2d(
+            x,
+            self.weight,
+            bias=self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+            groups=self.groups,
+        )
+
+    def __repr__(self):
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, groups={self.groups}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,32 @@
+"""Dropout with inverted scaling."""
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Dropout(Module):
+    """Zero each activation with probability ``p`` during training.
+
+    Uses inverted dropout (survivors scaled by ``1/(1-p)``) so that
+    evaluation is the identity.  An explicit ``rng`` can be supplied for
+    reproducible masks.
+    """
+
+    def __init__(self, p=0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,79 @@
+"""Weight initialization schemes (Kaiming / Xavier / constant).
+
+All initializers operate in-place on a tensor's numpy buffer and take an
+explicit ``numpy.random.Generator`` so experiments stay deterministic.
+"""
+
+import math
+
+import numpy as np
+
+
+def _fan_in_out(shape):
+    """Compute (fan_in, fan_out) for linear or convolutional weights."""
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:  # Conv2d: (out_c, in_c_per_group, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal_(tensor, rng, nonlinearity="relu"):
+    """He-normal init: std = gain / sqrt(fan_in)."""
+    fan_in, _ = _fan_in_out(tensor.shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan_in)
+    tensor.data = rng.standard_normal(tensor.shape) * std
+    return tensor
+
+
+def kaiming_uniform_(tensor, rng, nonlinearity="relu"):
+    """He-uniform init: bound = gain * sqrt(3 / fan_in)."""
+    fan_in, _ = _fan_in_out(tensor.shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * math.sqrt(3.0 / fan_in)
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    return tensor
+
+
+def xavier_normal_(tensor, rng):
+    """Glorot-normal init: std = sqrt(2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    tensor.data = rng.standard_normal(tensor.shape) * std
+    return tensor
+
+
+def xavier_uniform_(tensor, rng):
+    """Glorot-uniform init: bound = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(tensor.shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    return tensor
+
+
+def constant_(tensor, value):
+    """Fill with a constant."""
+    tensor.data = np.full(tensor.shape, float(value))
+    return tensor
+
+
+def zeros_(tensor):
+    """Fill with zeros."""
+    return constant_(tensor, 0.0)
+
+
+def ones_(tensor):
+    """Fill with ones."""
+    return constant_(tensor, 1.0)
+
+
+def linear_bias_(tensor, rng, fan_in):
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    return tensor

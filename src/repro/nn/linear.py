@@ -1,0 +1,65 @@
+"""Fully-connected layer."""
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Include an additive bias (default ``True``).
+    rng:
+        ``numpy.random.Generator`` used for initialization; a fresh
+        default generator is used when omitted.
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.kaiming_uniform_(self.weight, rng)
+        if bias:
+            self.bias = Parameter(np.empty(out_features))
+            init.linear_bias_(self.bias, rng, in_features)
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+def linear(x, weight, bias=None):
+    """Functional affine map (used by tests)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+__all__ = ["Linear", "Flatten", "linear", "Tensor"]

@@ -1,0 +1,85 @@
+"""Loss functions.
+
+``CrossEntropyLoss`` is the loss used throughout the paper's
+experiments.  It is a composite of ``log_softmax`` and a differentiable
+label gather, so HERO can differentiate *through its gradient*.
+"""
+
+import numpy as np
+
+from ..tensor import Tensor, log_softmax
+from .module import Module
+
+
+def cross_entropy(logits, targets, label_smoothing=0.0, reduction="mean"):
+    """Cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Parameters
+    ----------
+    label_smoothing:
+        Mix the one-hot target with the uniform distribution:
+        ``(1 - s) * one_hot + s / C``.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+    n, c = logits.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} does not match N={n}")
+    logp = log_softmax(logits, axis=1)
+    flat_idx = np.arange(n) * c + targets
+    nll = -logp.take_flat(flat_idx)  # (N,)
+    if label_smoothing > 0.0:
+        uniform = -logp.mean(axis=1)
+        nll = (1.0 - label_smoothing) * nll + label_smoothing * uniform
+    return _reduce(nll, reduction)
+
+
+def mse_loss(prediction, target, reduction="mean"):
+    """Mean squared error."""
+    target = Tensor.as_tensor(target)
+    diff = prediction - target
+    return _reduce(diff * diff, reduction)
+
+
+def _reduce(values, reduction):
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "sum":
+        return values.sum()
+    if reduction == "none":
+        return values
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper over :func:`cross_entropy`."""
+
+    def __init__(self, label_smoothing=0.0, reduction="mean"):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+        self.reduction = reduction
+
+    def forward(self, logits, targets):
+        return cross_entropy(
+            logits,
+            targets,
+            label_smoothing=self.label_smoothing,
+            reduction=self.reduction,
+        )
+
+    def __repr__(self):
+        return f"CrossEntropyLoss(label_smoothing={self.label_smoothing})"
+
+
+class MSELoss(Module):
+    """Module wrapper over :func:`mse_loss`."""
+
+    def __init__(self, reduction="mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction, target):
+        return mse_loss(prediction, target, reduction=self.reduction)

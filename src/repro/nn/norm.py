@@ -1,0 +1,106 @@
+"""Batch normalization, expressed as differentiable composite ops.
+
+Because the normalization is built from ``mean``/``var``/``sqrt``
+primitives (rather than a fused kernel with a hand-written gradient),
+second derivatives flow through BN exactly — HERO's Hessian penalty
+sees the full curvature contribution of normalization layers.
+
+Running statistics are plain numpy buffers updated outside the graph,
+with PyTorch's convention: biased variance normalizes the batch,
+unbiased variance accumulates into the running estimate.
+"""
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features, eps=1e-5, momentum=0.1, affine=True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+        self.register_buffer("num_batches_tracked", np.zeros(()))
+
+    def _axes(self):
+        raise NotImplementedError
+
+    def _param_shape(self, ndim):
+        raise NotImplementedError
+
+    def forward(self, x):
+        axes = self._axes()
+        shape = self._param_shape(x.ndim)
+        if self.training:
+            mu = x.mean(axis=axes, keepdims=True)
+            var = ((x - mu) * (x - mu)).mean(axis=axes, keepdims=True)
+            count = x.size // self.num_features
+            if count > 1:
+                unbiased = var.data * (count / (count - 1))
+            else:
+                unbiased = var.data
+            m = self.momentum
+            self.set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mu.data.reshape(-1),
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * unbiased.reshape(-1),
+            )
+            self.set_buffer("num_batches_tracked", self.num_batches_tracked + 1)
+        else:
+            mu = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        x_hat = (x - mu) * (var + self.eps).pow(-0.5)
+        if self.affine:
+            x_hat = x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
+        return x_hat
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.num_features}, eps={self.eps}, "
+            f"momentum={self.momentum}, affine={self.affine})"
+        )
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over (N, C) or (N, C, L) inputs."""
+
+    def _axes(self):
+        return (0,) if self._last_ndim == 2 else (0, 2)
+
+    def _param_shape(self, ndim):
+        return (1, self.num_features) if ndim == 2 else (1, self.num_features, 1)
+
+    def forward(self, x):
+        if x.ndim not in (2, 3):
+            raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got {x.ndim}-D")
+        self._last_ndim = x.ndim
+        return super().forward(x)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over NCHW inputs."""
+
+    def _axes(self):
+        return (0, 2, 3)
+
+    def _param_shape(self, ndim):
+        return (1, self.num_features, 1, 1)
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.ndim}-D")
+        return super().forward(x)

@@ -1,0 +1,94 @@
+"""Batch-independent normalization layers: LayerNorm and GroupNorm.
+
+BatchNorm's statistics degrade at the very small batch sizes CPU-scale
+experiments sometimes force; GroupNorm/LayerNorm are the standard
+batch-size-robust alternatives and, like everything in ``repro.nn``,
+are composites of twice-differentiable primitives so HERO's double
+backprop flows through them.
+"""
+
+import numpy as np
+
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalize over the trailing ``normalized_shape`` dimensions.
+
+    ``y = (x - mean) / sqrt(var + eps) * weight + bias`` with statistics
+    computed per sample over the normalized dimensions.
+    """
+
+    def __init__(self, normalized_shape, eps=1e-5, affine=True):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(self.normalized_shape))
+            self.bias = Parameter(np.zeros(self.normalized_shape))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x):
+        ndim = len(self.normalized_shape)
+        if tuple(x.shape[-ndim:]) != self.normalized_shape:
+            raise ValueError(
+                f"trailing dims {x.shape[-ndim:]} do not match "
+                f"normalized_shape {self.normalized_shape}"
+            )
+        axes = tuple(range(x.ndim - ndim, x.ndim))
+        mu = x.mean(axis=axes, keepdims=True)
+        var = ((x - mu) * (x - mu)).mean(axis=axes, keepdims=True)
+        x_hat = (x - mu) * (var + self.eps).pow(-0.5)
+        if self.affine:
+            x_hat = x_hat * self.weight + self.bias
+        return x_hat
+
+    def __repr__(self):
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"
+
+
+class GroupNorm(Module):
+    """Normalize NCHW activations within ``num_groups`` channel groups."""
+
+    def __init__(self, num_groups, num_channels, eps=1e-5, affine=True):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"num_channels {num_channels} not divisible by groups {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_channels))
+            self.bias = Parameter(np.zeros(num_channels))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"GroupNorm expects NCHW input, got {x.ndim}-D")
+        n, c, h, w = x.shape
+        if c != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {c}")
+        g = self.num_groups
+        grouped = x.reshape(n, g, c // g, h, w)
+        mu = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = ((grouped - mu) * (grouped - mu)).mean(axis=(2, 3, 4), keepdims=True)
+        x_hat = ((grouped - mu) * (var + self.eps).pow(-0.5)).reshape(n, c, h, w)
+        if self.affine:
+            shape = (1, c, 1, 1)
+            x_hat = x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
+        return x_hat
+
+    def __repr__(self):
+        return (
+            f"GroupNorm({self.num_groups}, {self.num_channels}, eps={self.eps})"
+        )

@@ -1,0 +1,82 @@
+"""Pooling layers, built on the same im2col gather as convolution."""
+
+import numpy as np
+
+from .conv import _pair, im2col_indices
+from .module import Module
+
+
+def _pool_patches(x, kernel_size, stride, padding, pad_value):
+    """Extract pooling windows: returns (patches, oh, ow).
+
+    ``patches`` has shape ``(N, OHW, C, KK)`` — for each output location
+    and channel, the window contents.
+    """
+    kernel = _pair(kernel_size)
+    stride = _pair(stride if stride is not None else kernel_size)
+    padding = _pair(padding)
+    if padding != (0, 0):
+        ph, pw = padding
+        x = x.pad(((0, 0), (0, 0), (ph, ph), (pw, pw)), value=pad_value)
+    indices, oh, ow = im2col_indices(x.shape, kernel, stride, (1, 1))
+    return x.take_flat(indices), oh, ow
+
+
+def max_pool2d(x, kernel_size, stride=None, padding=0):
+    """Functional max pooling over NCHW input."""
+    n, c = x.shape[0], x.shape[1]
+    patches, oh, ow = _pool_patches(x, kernel_size, stride, padding, -np.inf)
+    out = patches.max(axis=3)  # (N, OHW, C)
+    return out.transpose((0, 2, 1)).reshape(n, c, oh, ow)
+
+
+def avg_pool2d(x, kernel_size, stride=None, padding=0):
+    """Functional average pooling over NCHW input."""
+    n, c = x.shape[0], x.shape[1]
+    patches, oh, ow = _pool_patches(x, kernel_size, stride, padding, 0.0)
+    out = patches.mean(axis=3)
+    return out.transpose((0, 2, 1)).reshape(n, c, oh, ow)
+
+
+def global_avg_pool2d(x):
+    """Average over the spatial dimensions: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self):
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x):
+        return avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self):
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling: collapses H and W, returning (N, C)."""
+
+    def forward(self, x):
+        return global_avg_pool2d(x)

@@ -1,0 +1,81 @@
+"""Model summary: layer table with output shapes and parameter counts.
+
+``summary(model, input_shape)`` runs a probe forward pass, hooking
+every leaf module, and renders the familiar table — handy for checking
+that a width-scaled experiment model is what you think it is.
+"""
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+
+
+def collect_summary(model, input_shape, batch_size=2):
+    """Run a probe batch; return per-leaf-module rows.
+
+    Each row: ``{"name", "type", "output_shape", "params"}`` in
+    execution order.  ``input_shape`` excludes the batch dimension.
+    """
+    rows = []
+    originals = {}
+
+    leaves = [
+        (name, module)
+        for name, module in model.named_modules()
+        if not module._modules and name
+    ]
+
+    def make_wrapper(name, module, forward):
+        def wrapped(*args, **kwargs):
+            out = forward(*args, **kwargs)
+            shape = tuple(out.shape) if hasattr(out, "shape") else None
+            rows.append(
+                {
+                    "name": name,
+                    "type": type(module).__name__,
+                    "output_shape": shape,
+                    "params": sum(p.size for p in module._parameters.values()),
+                }
+            )
+            return out
+
+        return wrapped
+
+    try:
+        for name, module in leaves:
+            originals[name] = module.forward
+            object.__setattr__(module, "forward", make_wrapper(name, module, module.forward))
+        was_training = model.training
+        model.eval()
+        probe = Tensor(np.zeros((batch_size,) + tuple(input_shape)))
+        with no_grad():
+            model(probe)
+        if was_training:
+            model.train()
+    finally:
+        for name, module in leaves:
+            if name in originals:
+                object.__setattr__(module, "forward", originals[name])
+    return rows
+
+
+def summary(model, input_shape, batch_size=2):
+    """Render the layer table as a string (also returns total counts)."""
+    rows = collect_summary(model, input_shape, batch_size=batch_size)
+    name_width = max([len(r["name"]) for r in rows] + [10])
+    type_width = max([len(r["type"]) for r in rows] + [8])
+    lines = [
+        f"{'layer'.ljust(name_width)}  {'type'.ljust(type_width)}  "
+        f"{'output shape':>20}  {'params':>10}",
+        "-" * (name_width + type_width + 36),
+    ]
+    for row in rows:
+        shape = str(row["output_shape"])
+        lines.append(
+            f"{row['name'].ljust(name_width)}  {row['type'].ljust(type_width)}  "
+            f"{shape:>20}  {row['params']:>10,}"
+        )
+    total = model.num_parameters()
+    lines.append("-" * (name_width + type_width + 36))
+    lines.append(f"total trainable parameters: {total:,}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""``repro.optim`` — SGD and learning-rate schedules."""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam, AdamW
+from .clip import clip_grad_norm_, clip_grad_value_
+from .schedulers import (
+    LRScheduler,
+    ConstantLR,
+    CosineAnnealingLR,
+    StepLR,
+    WarmupCosineLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm_",
+    "clip_grad_value_",
+    "LRScheduler",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "StepLR",
+    "WarmupCosineLR",
+]

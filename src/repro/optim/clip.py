@@ -1,0 +1,33 @@
+"""Gradient clipping utilities.
+
+Applied between a trainer's ``training_step`` and ``optimizer.step()``
+(the HERO gradient of Eq. 17 can spike early in training when the
+Hessian penalty is large; norm clipping is the standard mitigation).
+"""
+
+import numpy as np
+
+
+def clip_grad_norm_(params, max_norm, eps=1e-12):
+    """Scale all gradients so their *global* l2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in params if p.grad is not None]
+    total = np.sqrt(sum(float(np.sum(g.data ** 2)) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + eps)
+        for g in grads:
+            g.data = g.data * scale
+    return total
+
+
+def clip_grad_value_(params, max_value):
+    """Clamp each gradient element to ``[-max_value, max_value]``."""
+    if max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    for p in params:
+        if p.grad is not None:
+            p.grad.data = np.clip(p.grad.data, -max_value, max_value)

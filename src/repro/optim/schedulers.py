@@ -1,0 +1,81 @@
+"""Learning-rate schedulers.
+
+The paper trains every method with a cosine schedule from an initial
+learning rate of 0.1; :class:`CosineAnnealingLR` is the default in the
+experiment harness.
+"""
+
+import math
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch):
+        """Learning rate to use *after* ``epoch`` steps."""
+        raise NotImplementedError
+
+    def step(self):
+        """Advance one epoch and update the optimizer's lr."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    @property
+    def current_lr(self):
+        """The optimizer's current learning rate."""
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    """No-op scheduler."""
+
+    def get_lr(self, epoch):
+        return self.base_lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from ``base_lr`` to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max, eta_min=0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch):
+        epoch = min(epoch, self.t_max)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * epoch / self.t_max))
+        return self.eta_min + (self.base_lr - self.eta_min) * cosine
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class WarmupCosineLR(CosineAnnealingLR):
+    """Linear warmup for ``warmup_epochs`` followed by cosine decay."""
+
+    def __init__(self, optimizer, t_max, warmup_epochs=0, eta_min=0.0):
+        super().__init__(optimizer, t_max, eta_min)
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self, epoch):
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return super().get_lr(epoch - self.warmup_epochs)

@@ -1,0 +1,44 @@
+"""``repro.quant`` — linear uniform post-training weight quantization."""
+
+from .quantizer import QuantScheme, quantize_array, quantization_error
+from .ptq import (
+    quantize_model,
+    evaluate_quantized,
+    precision_sweep,
+    weight_perturbation_norms,
+)
+from .folding import fold_conv_bn, fold_batchnorms
+from .activation import (
+    ActivationObserver,
+    FakeQuantize,
+    insert_activation_quantizers,
+    calibrate,
+    quantize_weights_and_activations,
+)
+from .sensitivity import (
+    layer_sensitivity,
+    apply_mixed_precision,
+    average_bits,
+    greedy_mixed_precision,
+)
+
+__all__ = [
+    "QuantScheme",
+    "quantize_array",
+    "quantization_error",
+    "quantize_model",
+    "evaluate_quantized",
+    "precision_sweep",
+    "weight_perturbation_norms",
+    "fold_conv_bn",
+    "fold_batchnorms",
+    "ActivationObserver",
+    "FakeQuantize",
+    "insert_activation_quantizers",
+    "calibrate",
+    "quantize_weights_and_activations",
+    "layer_sensitivity",
+    "apply_mixed_precision",
+    "average_bits",
+    "greedy_mixed_precision",
+]

@@ -1,0 +1,173 @@
+"""Activation (fake-)quantization — an extension beyond the paper.
+
+The paper quantizes weights only (its Theorem 2 analyzes weight
+perturbation).  Real deployments also quantize activations; this module
+adds the standard machinery so the HERO-vs-SGD comparison can be run
+under full weight+activation PTQ:
+
+* :class:`ActivationObserver` — records running min/max (or absolute
+  max) of a tensor stream during a calibration pass;
+* :class:`FakeQuantize` — a module wrapping an observer that, once
+  calibrated, rounds activations to the observed grid on forward;
+* :func:`insert_activation_quantizers` — wraps the output of every
+  conv/linear layer of a model copy;
+* :func:`calibrate` — runs calibration batches through the wrapped
+  model to freeze the ranges.
+
+Rounding happens on the numpy values inside forward; the straight-
+through behaviour (identity gradient) is obtained by adding the
+detached rounding error, so the wrapped model remains trainable if a
+user wants QAT-style finetuning.
+"""
+
+import copy
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+from .quantizer import QuantScheme
+
+
+class ActivationObserver:
+    """Running range tracker for a stream of activation tensors."""
+
+    def __init__(self, symmetric=True, momentum=None):
+        self.symmetric = symmetric
+        self.momentum = momentum  # None: running min/max; else EMA
+        self.low = None
+        self.high = None
+
+    def observe(self, array):
+        """Fold one activation tensor into the running range."""
+        low = float(np.min(array))
+        high = float(np.max(array))
+        if self.symmetric:
+            high = max(abs(low), abs(high))
+            low = -high
+        if self.low is None:
+            self.low, self.high = low, high
+        elif self.momentum is None:
+            self.low = min(self.low, low)
+            self.high = max(self.high, high)
+        else:
+            m = self.momentum
+            self.low = (1 - m) * self.low + m * low
+            self.high = (1 - m) * self.high + m * high
+
+    @property
+    def calibrated(self):
+        """Whether at least one batch has been observed."""
+        return self.low is not None
+
+
+class FakeQuantize(nn.Module):
+    """Quantize-dequantize activations to ``bits`` on the observed range.
+
+    In ``calibrating`` state the module records ranges and passes data
+    through unchanged; after :meth:`freeze` it rounds every forward.
+    """
+
+    def __init__(self, bits=8, symmetric=True):
+        super().__init__()
+        self.scheme = QuantScheme(bits=bits, symmetric=symmetric)
+        self.observer = ActivationObserver(symmetric=symmetric)
+        self.calibrating = True
+
+    def freeze(self):
+        """Stop calibrating; subsequent forwards quantize."""
+        if not self.observer.calibrated:
+            raise RuntimeError("cannot freeze an uncalibrated FakeQuantize")
+        self.calibrating = False
+        return self
+
+    def forward(self, x):
+        if self.calibrating:
+            self.observer.observe(x.data)
+            return x
+        quantized = self._quantize(x.data)
+        # Straight-through: x + (q - x).detach() == q in value, identity in grad.
+        return x + Tensor(quantized - x.data)
+
+    def _quantize(self, array):
+        low, high = self.observer.low, self.observer.high
+        levels = self.scheme.levels
+        if self.scheme.symmetric:
+            steps = max(levels // 2 - 1, 1)
+            delta = high / steps if high > 0 else 1.0
+            codes = np.clip(np.round(array / delta), -steps, steps)
+            return codes * delta
+        span = high - low
+        delta = span / (levels - 1) if span > 0 else 1.0
+        codes = np.clip(np.round((array - low) / delta), 0, levels - 1)
+        return codes * delta + low
+
+    def __repr__(self):
+        state = "calibrating" if self.calibrating else "frozen"
+        return f"FakeQuantize({self.scheme.describe()}, {state})"
+
+
+class _QuantizedOutput(nn.Module):
+    """A layer followed by its activation fake-quantizer."""
+
+    def __init__(self, layer, fake_quant):
+        super().__init__()
+        self.layer = layer
+        self.fq = fake_quant
+
+    def forward(self, x):
+        return self.fq(self.layer(x))
+
+
+def insert_activation_quantizers(model, bits=8, symmetric=True):
+    """Wrap every Conv2d/Linear of a model copy with a FakeQuantize.
+
+    Returns ``(wrapped_model, quantizers)`` where ``quantizers`` is the
+    list of inserted :class:`FakeQuantize` modules (for freezing).
+    """
+    wrapped = copy.deepcopy(model)
+    quantizers = []
+    _wrap_in_place(wrapped, bits, symmetric, quantizers)
+    if not quantizers:
+        raise ValueError("model contains no Conv2d/Linear layers to wrap")
+    return wrapped, quantizers
+
+
+def _wrap_in_place(module, bits, symmetric, quantizers):
+    for name, child in list(module._modules.items()):
+        if isinstance(child, (nn.Conv2d, nn.Linear)):
+            fq = FakeQuantize(bits=bits, symmetric=symmetric)
+            setattr(module, name, _QuantizedOutput(child, fq))
+            quantizers.append(fq)
+        else:
+            _wrap_in_place(child, bits, symmetric, quantizers)
+
+
+def calibrate(wrapped_model, quantizers, batches):
+    """Run calibration batches through the model, then freeze the ranges."""
+    from ..tensor import no_grad
+
+    wrapped_model.eval()
+    with no_grad():
+        for x, _y in batches:
+            wrapped_model(Tensor(np.asarray(x)))
+    for quantizer in quantizers:
+        quantizer.freeze()
+    return wrapped_model
+
+
+def quantize_weights_and_activations(model, weight_bits, act_bits, batches, symmetric=True):
+    """Full PTQ: weight quantization + calibrated activation quantization.
+
+    Returns the deployable model (weights on the grid, activation
+    fake-quantizers frozen).
+    """
+    from .ptq import quantize_model
+
+    weight_quantized, _report = quantize_model(
+        model, QuantScheme(bits=weight_bits, symmetric=symmetric)
+    )
+    wrapped, quantizers = insert_activation_quantizers(
+        weight_quantized, bits=act_bits, symmetric=symmetric
+    )
+    return calibrate(wrapped, quantizers, batches)

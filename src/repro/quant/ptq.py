@@ -1,0 +1,96 @@
+"""Post-training quantization of whole models, and precision sweeps.
+
+Matches the paper's protocol (Sec. 5.3): quantize the *weights* of
+every convolutional and linear layer of a fully-trained model to a
+target precision with a linear uniform quantizer — **no finetuning** —
+then measure test accuracy.  Biases and BatchNorm parameters stay in
+full precision (standard deployment practice: they fold into the
+high-precision accumulator path).
+"""
+
+import numpy as np
+
+from .quantizer import QuantScheme, quantize_array
+
+#: Parameter names quantized inside Conv2d/Linear modules.
+_QUANTIZED_PARAM = "weight"
+
+
+def _target_modules(model):
+    """Yield (name, module) for the conv/linear layers to quantize."""
+    from ..nn import Conv2d, Linear
+
+    for name, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            yield name, module
+
+
+def quantize_model(model, scheme, in_place=False):
+    """Quantize every conv/linear weight of ``model`` under ``scheme``.
+
+    Returns ``(quantized_model, report)``.  ``report`` maps layer name
+    to the per-layer quantization info (bin width, realized max error).
+    With ``in_place=False`` (default) the original model is untouched
+    and a state-copied clone is returned.
+    """
+    import copy
+
+    target = model if in_place else copy.deepcopy(model)
+    report = {}
+    for name, module in _target_modules(target):
+        weight = getattr(module, _QUANTIZED_PARAM)
+        w_q, info = quantize_array(weight.data, scheme)
+        weight.data = w_q
+        report[name or type(module).__name__] = info
+    return target, report
+
+
+def evaluate_quantized(model, scheme, eval_fn):
+    """Quantize a copy of ``model`` and run ``eval_fn`` on it.
+
+    ``eval_fn(model) -> float`` is typically test accuracy.
+    """
+    quantized, report = quantize_model(model, scheme, in_place=False)
+    return eval_fn(quantized), report
+
+
+def precision_sweep(model, eval_fn, bits_list=(3, 4, 5, 6, 7, 8), symmetric=True, per_channel=False):
+    """Accuracy across a range of precisions — one Fig. 1 curve.
+
+    Returns a dict with ``bits`` (list), ``accuracy`` (list, same
+    order), ``full_precision`` (unquantized score) and ``max_error``
+    (worst realized weight shift per precision, the Theorem 2 bound's
+    left side).
+    """
+    accuracies = []
+    max_errors = []
+    for bits in bits_list:
+        scheme = QuantScheme(bits=bits, symmetric=symmetric, per_channel=per_channel)
+        score, report = evaluate_quantized(model, scheme, eval_fn)
+        accuracies.append(score)
+        max_errors.append(max(info["max_error"] for info in report.values()))
+    return {
+        "bits": list(bits_list),
+        "accuracy": accuracies,
+        "max_error": max_errors,
+        "full_precision": eval_fn(model),
+    }
+
+
+def weight_perturbation_norms(model, scheme):
+    """``||W_q - W||`` per layer in l-inf and l2 — Theorem 2's delta.
+
+    Useful to verify the quantization perturbation is indeed l-inf
+    bounded by ``Delta/2`` (tested in the suite).
+    """
+    norms = {}
+    for name, module in _target_modules(model):
+        weight = getattr(module, _QUANTIZED_PARAM).data
+        w_q, info = quantize_array(weight, scheme)
+        diff = w_q - weight
+        norms[name] = {
+            "linf": float(np.abs(diff).max()),
+            "l2": float(np.linalg.norm(diff)),
+            "delta": info["delta"],
+        }
+    return norms

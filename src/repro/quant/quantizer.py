@@ -1,0 +1,120 @@
+"""Linear uniform weight quantization (the paper's Sec. 3.1 setting).
+
+"The weight distribution is separated into ``2^n`` uniform-sized bins,
+and each bin is rounded into an n-bit quantized value.  Suppose the
+quantization bin has a width of Delta, the rounding function will
+change each element of the weight by at most Delta/2."
+
+Schemes
+-------
+``symmetric``
+    Range ``[-max|W|, +max|W|]``, zero exactly representable; the
+    common hardware-friendly choice and our default.
+``asymmetric``
+    Range ``[min W, max W]`` with a zero point — tighter bins for
+    skewed distributions.
+
+Granularity is ``per_tensor`` (one Delta per weight tensor — the
+paper's per-layer linear uniform quantizer) or ``per_channel`` (one
+Delta per output channel).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """Description of a linear uniform quantizer."""
+
+    bits: int
+    symmetric: bool = True
+    per_channel: bool = False
+
+    def __post_init__(self):
+        if not 2 <= self.bits <= 16:
+            raise ValueError(f"bits must be in [2, 16], got {self.bits}")
+
+    @property
+    def levels(self):
+        """Number of representable values (2^bits)."""
+        return 2 ** self.bits
+
+    def describe(self):
+        """Human-readable one-line description of the scheme."""
+        gran = "per-channel" if self.per_channel else "per-tensor"
+        kind = "symmetric" if self.symmetric else "asymmetric"
+        return f"{self.bits}-bit {kind} {gran}"
+
+
+def _reduce_axes(array):
+    """All axes except the leading (output-channel) one."""
+    return tuple(range(1, array.ndim))
+
+
+def quantize_array(weights, scheme):
+    """Quantize ``weights`` under ``scheme``; returns ``(w_q, info)``.
+
+    ``info`` carries ``delta`` (bin width(s)) and ``max_error`` — the
+    realized ``||W_q - W||_inf``, which Theorem 2 bounds by
+    ``delta / 2``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("cannot quantize an empty array")
+
+    if scheme.per_channel and weights.ndim >= 2:
+        axes = _reduce_axes(weights)
+        keep = tuple([slice(None)] + [None] * (weights.ndim - 1))
+        if scheme.symmetric:
+            max_abs = np.abs(weights).max(axis=axes)[keep]
+            w_q, delta = _symmetric(weights, max_abs, scheme.levels)
+        else:
+            low = weights.min(axis=axes)[keep]
+            high = weights.max(axis=axes)[keep]
+            w_q, delta = _asymmetric(weights, low, high, scheme.levels)
+    else:
+        if scheme.symmetric:
+            max_abs = np.abs(weights).max()
+            w_q, delta = _symmetric(weights, max_abs, scheme.levels)
+        else:
+            w_q, delta = _asymmetric(weights, weights.min(), weights.max(), scheme.levels)
+
+    info = {
+        "delta": delta,
+        "max_error": float(np.abs(w_q - weights).max()),
+        "scheme": scheme,
+    }
+    return w_q, info
+
+
+def _symmetric(weights, max_abs, levels):
+    """Symmetric uniform quantization over ``[-max_abs, +max_abs]``.
+
+    Uses the restricted signed grid ``{-(2^{n-1}-1), ..., +(2^{n-1}-1)}``
+    (one code of the full range unused — the standard hardware-friendly
+    choice), so zero is exactly representable, the extreme weight maps
+    to ``+-max_abs`` without clipping error, and the rounding error is
+    bounded by ``delta / 2`` as Theorem 2 requires.
+    """
+    steps = max(levels // 2 - 1, 1)
+    delta = np.where(np.asarray(max_abs) > 0, np.asarray(max_abs) / steps, 1.0)
+    codes = np.clip(np.round(weights / delta), -steps, steps)
+    return codes * delta, delta
+
+
+def _asymmetric(weights, low, high, levels):
+    """Asymmetric uniform quantization over ``[low, high]``."""
+    low = np.asarray(low, dtype=np.float64)
+    high = np.asarray(high, dtype=np.float64)
+    span = high - low
+    delta = np.where(span > 0, span / (levels - 1), 1.0)
+    codes = np.clip(np.round((weights - low) / delta), 0, levels - 1)
+    return codes * delta + low, delta
+
+
+def quantization_error(weights, scheme):
+    """Convenience: the elementwise error ``W_q - W``."""
+    w_q, _ = quantize_array(weights, scheme)
+    return w_q - np.asarray(weights, dtype=np.float64)

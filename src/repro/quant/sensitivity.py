@@ -1,0 +1,113 @@
+"""Per-layer quantization sensitivity and greedy mixed precision.
+
+The paper's motivation (Sec. 1/2.2) is deployment where precision must
+change on the fly.  A natural downstream tool on top of a HERO-trained
+model: measure how sensitive each layer is to quantization, then assign
+the lowest per-layer precisions that keep accuracy within a budget —
+no finetuning, exactly the post-training regime HERO targets.
+"""
+
+import copy
+
+from .quantizer import QuantScheme, quantize_array
+from .ptq import _target_modules
+
+
+def layer_sensitivity(model, eval_fn, bits=4, symmetric=True):
+    """Accuracy when quantizing *one layer at a time* to ``bits``.
+
+    Returns ``{layer_name: accuracy}``, plus the unquantized reference
+    under the key ``"__full__"``.  Layers whose entry is far below the
+    reference are the quantization bottlenecks.
+    """
+    reference = eval_fn(model)
+    scheme = QuantScheme(bits=bits, symmetric=symmetric)
+    results = {"__full__": reference}
+    for name, _module in _target_modules(model):
+        clone = copy.deepcopy(model)
+        target = dict(_target_modules(clone))[name]
+        target.weight.data, _info = quantize_array(target.weight.data, scheme)
+        results[name] = eval_fn(clone)
+    return results
+
+
+def apply_mixed_precision(model, assignment, symmetric=True):
+    """Quantize a copy of ``model`` with per-layer bit widths.
+
+    ``assignment`` maps layer name to bits (layers absent from the map
+    stay full precision).  Returns ``(quantized_model, report)``.
+    """
+    clone = copy.deepcopy(model)
+    report = {}
+    modules = dict(_target_modules(clone))
+    unknown = set(assignment) - set(modules)
+    if unknown:
+        raise KeyError(f"assignment names unknown layers: {sorted(unknown)}")
+    for name, bits in assignment.items():
+        scheme = QuantScheme(bits=bits, symmetric=symmetric)
+        module = modules[name]
+        module.weight.data, info = quantize_array(module.weight.data, scheme)
+        report[name] = info
+    return clone, report
+
+
+def average_bits(model, assignment, default_bits=16):
+    """Parameter-weighted mean bit width of an assignment."""
+    total_params = 0
+    total_bits = 0.0
+    for name, module in _target_modules(model):
+        count = module.weight.size
+        total_params += count
+        total_bits += count * assignment.get(name, default_bits)
+    return total_bits / max(total_params, 1)
+
+
+def greedy_mixed_precision(
+    model,
+    eval_fn,
+    accuracy_budget=0.02,
+    bit_choices=(8, 6, 5, 4, 3),
+    symmetric=True,
+):
+    """Greedily lower each layer's precision while accuracy holds.
+
+    Starting from the highest precision in ``bit_choices`` for every
+    layer, repeatedly try the next lower precision on the layer whose
+    drop costs least, accepting moves that keep accuracy within
+    ``accuracy_budget`` of the full-precision reference.
+
+    Returns ``{"assignment", "accuracy", "reference", "average_bits"}``.
+    """
+    bit_choices = sorted(bit_choices, reverse=True)
+    reference = eval_fn(model)
+    floor = reference - accuracy_budget
+    names = [name for name, _m in _target_modules(model)]
+    assignment = {name: bit_choices[0] for name in names}
+
+    current_model, _ = apply_mixed_precision(model, assignment, symmetric=symmetric)
+    current_acc = eval_fn(current_model)
+
+    improved = True
+    while improved:
+        improved = False
+        best_candidate = None
+        for name in names:
+            index = bit_choices.index(assignment[name])
+            if index + 1 >= len(bit_choices):
+                continue
+            trial = dict(assignment)
+            trial[name] = bit_choices[index + 1]
+            trial_model, _ = apply_mixed_precision(model, trial, symmetric=symmetric)
+            acc = eval_fn(trial_model)
+            if acc >= floor and (best_candidate is None or acc > best_candidate[1]):
+                best_candidate = (name, acc, trial)
+        if best_candidate is not None:
+            _name, current_acc, assignment = best_candidate
+            improved = True
+
+    return {
+        "assignment": assignment,
+        "accuracy": current_acc,
+        "reference": reference,
+        "average_bits": average_bits(model, assignment),
+    }

@@ -1,0 +1,54 @@
+"""Global gradient-mode switch for the autograd engine.
+
+The engine builds a computation graph only while grad mode is enabled
+(the default).  ``no_grad`` disables graph construction, which is used
+both by user code (evaluation loops, optimizer updates) and internally
+by ``Tensor.backward`` when ``create_graph=False``.
+"""
+
+from contextlib import contextmanager
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled():
+    """Return ``True`` when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode):
+    """Set grad mode to ``mode`` and return the previous mode."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+@contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Example
+    -------
+    >>> from repro.tensor import Tensor, no_grad
+    >>> x = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 2.0
+    >>> y.requires_grad
+    False
+    """
+    previous = set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)
+
+
+@contextmanager
+def enable_grad():
+    """Context manager that re-enables graph construction inside ``no_grad``."""
+    previous = set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

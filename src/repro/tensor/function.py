@@ -1,0 +1,97 @@
+"""Base class for differentiable operations.
+
+Every primitive op in the engine is a :class:`Function`.  A ``Function``
+instance records its input tensors when applied, and its ``backward``
+method expresses the vector-Jacobian product **in terms of Tensor
+operations**.  Because the backward pass is itself built from
+differentiable ops, calling ``Tensor.backward(create_graph=True)``
+produces gradients that carry their own graph — which is exactly what
+HERO's Hessian regularizer (Eq. 16 of the paper) and the GRAD-L1
+baseline need (gradients of gradient norms).
+"""
+
+import numpy as np
+
+from ._gradmode import is_grad_enabled
+
+DEFAULT_DTYPE = np.float64
+
+
+class Function:
+    """A differentiable operation node in the autograd graph.
+
+    Subclasses implement:
+
+    ``forward(self, *arrays, **kwargs)``
+        Receives raw ``numpy.ndarray`` inputs, returns a ``numpy.ndarray``.
+        May stash anything needed for the backward pass on ``self``.
+
+    ``backward(self, grad_out)``
+        Receives the upstream gradient as a ``Tensor`` and must return a
+        tuple with one entry per tensor input: either a ``Tensor``
+        gradient or ``None`` for non-differentiable inputs.  The rule
+        must be written with ``Tensor`` operations so that higher-order
+        differentiation works.
+    """
+
+    def __init__(self):
+        self.inputs = ()
+        self.requires_grad = False
+
+    @classmethod
+    def apply(cls, *tensors, **kwargs):
+        """Run the op on ``tensors`` and wire up the graph if needed."""
+        from .tensor import Tensor
+
+        tensors = tuple(Tensor.as_tensor(t) for t in tensors)
+        ctx = cls()
+        out_data = ctx.forward(*(t.data for t in tensors), **kwargs)
+        needs_graph = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=needs_graph)
+        if needs_graph:
+            ctx.inputs = tensors
+            ctx.requires_grad = True
+            out._ctx = ctx
+        return out
+
+    def forward(self, *arrays, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, grad_out):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+def unbroadcast(grad, shape):
+    """Reduce ``grad`` (a Tensor) back to ``shape`` after broadcasting.
+
+    NumPy broadcasting prepends singleton dimensions and stretches size-1
+    axes; the adjoint of broadcasting is summation over those axes.  This
+    helper is built from differentiable ``sum``/``reshape`` ops so it can
+    appear inside backward rules.
+    """
+    if tuple(grad.shape) == tuple(shape):
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size 1.
+    stretched = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    if tuple(grad.shape) != tuple(shape):
+        grad = grad.reshape(shape)
+    return grad
+
+
+def as_array(value, dtype=DEFAULT_DTYPE):
+    """Coerce ``value`` to a numpy array of the engine's default dtype."""
+    arr = np.asarray(value)
+    if arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return arr

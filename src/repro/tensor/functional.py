@@ -1,0 +1,95 @@
+"""Composite differentiable functions built from the primitive ops.
+
+Everything here is expressed in terms of primitives whose backward
+rules are graph-valued, so all composites support double backprop.
+"""
+
+import numpy as np
+
+from .tensor import Tensor
+from .ops_shape import concat  # re-exported  # noqa: F401
+from .ops_elementwise import where  # re-exported  # noqa: F401
+
+
+def _axis_count(shape, axis):
+    """Number of elements reduced when summing ``shape`` over ``axis``."""
+    if axis is None:
+        return int(np.prod(shape)) if shape else 1
+    if isinstance(axis, int):
+        axis = (axis,)
+    count = 1
+    for a in axis:
+        count *= shape[a % len(shape)]
+    return count
+
+
+def mean(x, axis=None, keepdims=False):
+    """Arithmetic mean over ``axis``."""
+    count = _axis_count(x.shape, axis)
+    return x.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def var(x, axis=None, keepdims=False, ddof=0):
+    """Variance over ``axis`` (biased by default, like numpy)."""
+    count = _axis_count(x.shape, axis)
+    mu = mean(x, axis=axis, keepdims=True)
+    centered = x - mu
+    total = (centered * centered).sum(axis=axis, keepdims=keepdims)
+    return total * (1.0 / (count - ddof))
+
+
+def std(x, axis=None, keepdims=False, eps=0.0):
+    """Standard deviation over ``axis`` (add ``eps`` before the root)."""
+    return (var(x, axis=axis, keepdims=keepdims) + eps).sqrt()
+
+
+def logsumexp(x, axis, keepdims=False):
+    """Numerically stable ``log(sum(exp(x)))`` over ``axis``.
+
+    The max shift is detached — it is locally constant, so detaching
+    keeps the gradient (and Hessian) exact while avoiding the
+    non-smooth ``max`` in the graph.
+    """
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    out = shifted.exp().sum(axis=axis, keepdims=True).log() + shift
+    if not keepdims:
+        out = out.reshape(_squeezed_shape(out.shape, axis))
+    return out
+
+
+def _squeezed_shape(shape, axis):
+    if isinstance(axis, int):
+        axis = (axis,)
+    axis = tuple(a % len(shape) for a in axis)
+    return tuple(s for i, s in enumerate(shape) if i not in axis)
+
+
+def softmax(x, axis=-1):
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def log_softmax(x, axis=-1):
+    """Log-softmax along ``axis`` (stable)."""
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def dot(a, b):
+    """Scalar product of two same-shaped tensors."""
+    return (a * b).sum()
+
+
+def stack(tensors, axis=0):
+    """Differentiable stack: insert a new axis and concatenate."""
+    expanded = []
+    for t in tensors:
+        shape = list(t.shape)
+        shape.insert(axis if axis >= 0 else axis + t.ndim + 1, 1)
+        expanded.append(t.reshape(*shape))
+    return concat(expanded, axis=axis)
+
+
+def flatten_params(tensors):
+    """Concatenate a sequence of tensors into one flat vector (differentiable)."""
+    return concat([t.reshape(-1) for t in tensors], axis=0)

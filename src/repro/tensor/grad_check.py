@@ -1,0 +1,120 @@
+"""Numerical verification of first- and second-order gradients.
+
+These utilities back the engine's test suite: every primitive op, every
+layer and the full HERO update rule are validated against central
+finite differences.
+"""
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn, arrays, index=0, eps=1e-6):
+    """Central finite-difference gradient of scalar ``fn`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Callable taking ``len(arrays)`` Tensors and returning a scalar
+        Tensor.
+    arrays:
+        Sequence of numpy arrays, the evaluation point.
+    index:
+        Which input to differentiate.
+    """
+    arrays = [np.asarray(a, dtype=np.float64).copy() for a in arrays]
+    target = arrays[index]
+    grad = np.zeros_like(target)
+    flat = target.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = float(fn(*[Tensor(a) for a in arrays]).data)
+        flat[i] = original - eps
+        down = float(fn(*[Tensor(a) for a in arrays]).data)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def analytic_gradient(fn, arrays, index=0):
+    """Autograd gradient of scalar ``fn`` w.r.t. input ``index``."""
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.backward()
+    grad = tensors[index].grad
+    if grad is None:
+        return np.zeros_like(tensors[index].data)
+    return grad.data
+
+
+def check_gradient(fn, arrays, index=0, eps=1e-6, atol=1e-5, rtol=1e-4):
+    """Assert that autograd and numerical gradients of ``fn`` agree.
+
+    Returns the pair ``(analytic, numerical)`` for further inspection.
+    """
+    num = numerical_gradient(fn, arrays, index=index, eps=eps)
+    ana = analytic_gradient(fn, arrays, index=index)
+    if not np.allclose(ana, num, atol=atol, rtol=rtol):
+        worst = np.max(np.abs(ana - num))
+        raise AssertionError(
+            f"gradient mismatch for input {index}: max abs err {worst:.3e}\n"
+            f"analytic:\n{ana}\nnumerical:\n{num}"
+        )
+    return ana, num
+
+
+def numerical_hvp(fn, arrays, vector, index=0, eps=1e-5):
+    """Finite-difference Hessian-vector product of scalar ``fn``.
+
+    ``H v ~= (grad(x + eps*v) - grad(x - eps*v)) / (2 eps)`` using the
+    *analytic* gradient at the shifted points, which keeps the estimate
+    second-order accurate.
+    """
+    arrays = [np.asarray(a, dtype=np.float64).copy() for a in arrays]
+    vector = np.asarray(vector, dtype=np.float64)
+    shifted_up = [a.copy() for a in arrays]
+    shifted_up[index] = shifted_up[index] + eps * vector
+    shifted_down = [a.copy() for a in arrays]
+    shifted_down[index] = shifted_down[index] - eps * vector
+    g_up = analytic_gradient(fn, shifted_up, index=index)
+    g_down = analytic_gradient(fn, shifted_down, index=index)
+    return (g_up - g_down) / (2.0 * eps)
+
+
+def analytic_hvp(fn, arrays, vector, index=0):
+    """Exact Hessian-vector product via double backprop.
+
+    Computes ``d/dx (grad(x) . v)`` with ``create_graph=True`` on the
+    first backward pass — the same machinery HERO's training step uses.
+    """
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.backward(create_graph=True)
+    grad = tensors[index].grad
+    tensors[index].grad = None
+    v = Tensor(np.asarray(vector, dtype=np.float64))
+    inner = (grad * v).sum()
+    if inner._ctx is None and not inner.requires_grad:
+        # The gradient is constant (linear function): Hessian is zero.
+        return np.zeros_like(tensors[index].data)
+    inner.backward()
+    hvp = tensors[index].grad
+    if hvp is None:
+        return np.zeros_like(tensors[index].data)
+    return hvp.data
+
+
+def check_hvp(fn, arrays, vector, index=0, eps=1e-5, atol=1e-4, rtol=1e-3):
+    """Assert exact and finite-difference HVPs of ``fn`` agree."""
+    ana = analytic_hvp(fn, arrays, vector, index=index)
+    num = numerical_hvp(fn, arrays, vector, index=index, eps=eps)
+    if not np.allclose(ana, num, atol=atol, rtol=rtol):
+        worst = np.max(np.abs(ana - num))
+        raise AssertionError(
+            f"HVP mismatch for input {index}: max abs err {worst:.3e}\n"
+            f"analytic:\n{ana}\nnumerical:\n{num}"
+        )
+    return ana, num

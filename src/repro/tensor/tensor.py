@@ -1,0 +1,417 @@
+"""The :class:`Tensor` — a numpy-backed array with reverse-mode autograd.
+
+The design follows the PyTorch model closely:
+
+* tensors created by operations keep a pointer (``_ctx``) to the
+  :class:`~repro.tensor.function.Function` that produced them;
+* ``backward()`` runs a reverse topological traversal accumulating
+  vector-Jacobian products;
+* ``backward(create_graph=True)`` builds the backward pass itself as a
+  differentiable graph, enabling Hessian-vector products and the
+  double-backpropagation HERO requires.
+"""
+
+import numpy as np
+
+from ._gradmode import no_grad, enable_grad
+from .function import Function, as_array, DEFAULT_DTYPE
+
+
+class Tensor:
+    """A multi-dimensional array supporting reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray``.  Stored as float64
+        by default (numeric robustness matters more than speed at the
+        scale of this reproduction).
+    requires_grad:
+        When ``True`` the tensor is a graph leaf that accumulates into
+        ``.grad`` during ``backward()``.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_ctx")
+
+    def __init__(self, data, requires_grad=False):
+        self.data = as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad = None
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def as_tensor(value):
+        """Return ``value`` if it is a Tensor, else wrap it (no grad)."""
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    @staticmethod
+    def zeros(*shape, requires_grad=False):
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad=False):
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape, fill_value, requires_grad=False):
+        return Tensor(
+            np.full(shape, fill_value, dtype=DEFAULT_DTYPE), requires_grad=requires_grad
+        )
+
+    @staticmethod
+    def eye(n, requires_grad=False):
+        return Tensor(np.eye(n, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng=None, requires_grad=False):
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array_repr(self.data)}{grad_note})"
+
+    def numpy(self):
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def item(self):
+        """Return the scalar value of a one-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    def _raise_item(self):
+        raise ValueError(f"item() called on tensor with {self.data.size} elements")
+
+    # ------------------------------------------------------------------
+    # Graph manipulation
+    # ------------------------------------------------------------------
+    def detach(self):
+        """Return a new tensor sharing data but cut from the graph."""
+        out = Tensor(self.data, requires_grad=False)
+        return out
+
+    def clone(self):
+        """Return a differentiable copy of this tensor."""
+        from . import ops_shape
+
+        return ops_shape.Reshape.apply(self, shape=self.shape)
+
+    def copy_data(self):
+        """Return a detached tensor with a *copied* numpy buffer."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self):
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(self, grad=None, create_graph=False):
+        """Accumulate gradients of this tensor w.r.t. graph leaves.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ``1`` for scalar tensors.
+        create_graph:
+            When ``True`` the backward computation is itself recorded,
+            so the resulting ``.grad`` tensors are differentiable (used
+            for Hessian-vector products and HERO's Eq. 16/17).
+        """
+        if not self.requires_grad and self._ctx is None:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = Tensor(np.ones_like(self.data))
+        else:
+            grad = Tensor.as_tensor(grad)
+
+        topo = self._topological_order()
+        grads = {id(self): grad}
+
+        mode = enable_grad() if create_graph else no_grad()
+        with mode:
+            for node in topo:
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
+                    continue
+                if node.requires_grad and node._ctx is None:
+                    # Leaf: accumulate into .grad
+                    if node.grad is None:
+                        node.grad = node_grad
+                    else:
+                        node.grad = node.grad + node_grad
+                    continue
+                ctx = node._ctx
+                if ctx is None:
+                    continue
+                input_grads = ctx.backward(node_grad)
+                if not isinstance(input_grads, tuple):
+                    input_grads = (input_grads,)
+                if len(input_grads) != len(ctx.inputs):
+                    raise RuntimeError(
+                        f"{type(ctx).__name__}.backward returned "
+                        f"{len(input_grads)} grads for {len(ctx.inputs)} inputs"
+                    )
+                for parent, parent_grad in zip(ctx.inputs, input_grads):
+                    if parent_grad is None:
+                        continue
+                    if not (parent.requires_grad or parent._ctx is not None):
+                        continue
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = (
+                        parent_grad if existing is None else existing + parent_grad
+                    )
+
+    def _topological_order(self):
+        """Return graph nodes in reverse-dependency order (self first)."""
+        order = []
+        visited = set()
+        # Iterative DFS to avoid recursion limits on deep graphs
+        # (double backprop through a CNN easily exceeds 1000 frames).
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node._ctx is not None:
+                for parent in node._ctx.inputs:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Operator overloads (implementations live in the ops_* modules)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from . import ops_basic
+
+        return ops_basic.Add.apply(self, other)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        from . import ops_basic
+
+        return ops_basic.Neg.apply(self)
+
+    def __sub__(self, other):
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other):
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        from . import ops_basic
+
+        return ops_basic.Mul.apply(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor.as_tensor(other)
+        return self * other.pow(-1.0)
+
+    def __rtruediv__(self, other):
+        return Tensor.as_tensor(other) * self.pow(-1.0)
+
+    def __matmul__(self, other):
+        from . import ops_basic
+
+        return ops_basic.MatMul.apply(self, other)
+
+    def __pow__(self, exponent):
+        return self.pow(exponent)
+
+    def pow(self, exponent):
+        from . import ops_basic
+
+        return ops_basic.Pow.apply(self, exponent=float(exponent))
+
+    # Comparisons produce detached boolean masks — useful for `where`.
+    def __gt__(self, other):
+        return self.data > _raw(other)
+
+    def __lt__(self, other):
+        return self.data < _raw(other)
+
+    def __ge__(self, other):
+        return self.data >= _raw(other)
+
+    def __le__(self, other):
+        return self.data <= _raw(other)
+
+    # ------------------------------------------------------------------
+    # Elementwise math
+    # ------------------------------------------------------------------
+    def exp(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Exp.apply(self)
+
+    def log(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Log.apply(self)
+
+    def sqrt(self):
+        return self.pow(0.5)
+
+    def abs(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Abs.apply(self)
+
+    def tanh(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Tanh.apply(self)
+
+    def sigmoid(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Sigmoid.apply(self)
+
+    def relu(self):
+        from . import ops_elementwise
+
+        return ops_elementwise.Relu.apply(self)
+
+    def clip(self, low, high):
+        from . import ops_elementwise
+
+        return ops_elementwise.Clip.apply(self, low=low, high=high)
+
+    def maximum(self, other):
+        from . import ops_elementwise
+
+        return ops_elementwise.Maximum.apply(self, other)
+
+    def minimum(self, other):
+        from . import ops_elementwise
+
+        return ops_elementwise.Minimum.apply(self, other)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        from . import ops_reduce
+
+        return ops_reduce.Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from . import functional
+
+        return functional.mean(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims=False):
+        from . import functional
+
+        return functional.var(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        from . import ops_reduce
+
+        return ops_reduce.Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def norm(self, eps=0.0):
+        """Frobenius / l2 norm of the full tensor as a scalar tensor."""
+        sq = (self * self).sum()
+        if eps:
+            sq = sq + eps
+        return sq.sqrt()
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        from . import ops_shape
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops_shape.Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim=0):
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, axes=None):
+        from . import ops_shape
+
+        return ops_shape.Transpose.apply(self, axes=axes)
+
+    def swapaxes(self, a, b):
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def expand_to(self, shape):
+        from . import ops_shape
+
+        return ops_shape.Expand.apply(self, shape=tuple(shape))
+
+    def pad(self, pad_width, value=0.0):
+        from . import ops_shape
+
+        return ops_shape.Pad.apply(self, pad_width=tuple(map(tuple, pad_width)), value=value)
+
+    def __getitem__(self, key):
+        from . import ops_shape
+
+        return ops_shape.Slice.apply(self, key=key)
+
+    def take_flat(self, flat_indices):
+        """Differentiable gather from the flattened tensor.
+
+        ``out[i...] = self.ravel()[flat_indices[i...]]`` — the backbone of
+        im2col convolution, pooling window extraction and label lookup.
+        """
+        from . import ops_shape
+
+        return ops_shape.TakeFlat.apply(self, indices=np.asarray(flat_indices))
+
+
+def _raw(value):
+    return value.data if isinstance(value, Tensor) else value

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_image_batch(rng):
+    """A small NCHW batch with integer labels (8 samples, 3x6x6)."""
+    x = rng.standard_normal((8, 3, 6, 6))
+    y = rng.integers(0, 4, size=8)
+    return x, y
+
+
+@pytest.fixture
+def tiny_mlp(rng):
+    """A 2-16-3 MLP with deterministic init."""
+    from repro.models import MLP
+
+    return MLP(in_features=2, hidden=(16,), num_classes=3, rng=rng)
+
+
+@pytest.fixture
+def tiny_convnet():
+    """A minimal conv-BN-relu-pool-linear classifier."""
+    import numpy as np
+
+    from repro import nn
+
+    r = np.random.default_rng(7)
+    return nn.Sequential(
+        nn.Conv2d(3, 4, 3, padding=1, rng=r),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(4, 4, rng=r),
+    )

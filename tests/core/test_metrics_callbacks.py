@@ -1,0 +1,141 @@
+"""Metrics, History, and training callbacks."""
+
+import numpy as np
+
+from repro.core import (
+    AverageMeter,
+    CheckpointCallback,
+    GeneralizationGapCallback,
+    History,
+    LambdaCallback,
+    accuracy,
+    correct_count,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == 2 / 3
+        assert correct_count(logits, np.array([0, 1, 1])) == 2
+
+    def test_accuracy_accepts_tensor(self):
+        from repro.tensor import Tensor
+
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0
+
+    def test_average_meter_weighted(self):
+        meter = AverageMeter()
+        meter.update(1.0, weight=1)
+        meter.update(0.0, weight=3)
+        assert meter.average == 0.25
+        meter.reset()
+        assert meter.average == 0.0
+
+
+class TestHistory:
+    def test_columns_and_padding(self):
+        history = History()
+        history.log(a=1, b=2)
+        history.log(a=3)
+        assert history["a"] == [1, 3]
+        assert history["b"] == [2, None]
+        assert history.columns() == ["a", "b"]
+
+    def test_last(self):
+        history = History()
+        history.log(a=1)
+        history.log(b=5)
+        assert history.last("a") == 1
+        assert history.last("b") == 5
+        assert history.last("missing", default=-1) == -1
+
+    def test_to_dict(self):
+        history = History()
+        history.log(x=1.0)
+        assert history.to_dict() == {"x": [1.0]}
+
+
+class _FakeTrainer:
+    def __init__(self, model):
+        self.model = model
+
+
+class TestCallbacks:
+    def test_generalization_gap(self):
+        cb = GeneralizationGapCallback()
+        logs = {"train_acc": 0.9, "test_acc": 0.7}
+        cb.on_epoch_end(None, 0, logs)
+        assert np.isclose(logs["generalization_gap"], 0.2)
+        logs2 = {"train_acc": 0.9}
+        cb.on_epoch_end(None, 0, logs2)
+        assert "generalization_gap" not in logs2
+
+    def test_checkpoint_keeps_best(self):
+        from repro.models import MLP
+
+        model = MLP(2, hidden=(4,), num_classes=2, rng=np.random.default_rng(0))
+        trainer = _FakeTrainer(model)
+        cb = CheckpointCallback(monitor="test_acc", mode="max")
+        cb.on_epoch_end(trainer, 0, {"test_acc": 0.5})
+        best_w = model.state_dict()["net.0.weight"].copy()
+        # degrade the model, report worse metric: snapshot must not move
+        model.net[0].weight.data = model.net[0].weight.data * 0
+        cb.on_epoch_end(trainer, 1, {"test_acc": 0.3})
+        assert cb.best_epoch == 0
+        assert np.allclose(cb.best_state["net.0.weight"], best_w)
+        # better metric replaces the snapshot
+        cb.on_epoch_end(trainer, 2, {"test_acc": 0.9})
+        assert cb.best_epoch == 2
+        assert np.allclose(cb.best_state["net.0.weight"], 0.0)
+
+    def test_checkpoint_min_mode(self):
+        cb = CheckpointCallback(monitor="loss", mode="min")
+        from repro.models import MLP
+
+        trainer = _FakeTrainer(MLP(2, hidden=(4,), num_classes=2))
+        cb.on_epoch_end(trainer, 0, {"loss": 1.0})
+        cb.on_epoch_end(trainer, 1, {"loss": 2.0})
+        assert cb.best_epoch == 0
+
+    def test_checkpoint_invalid_mode(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CheckpointCallback(mode="median")
+
+    def test_lambda_callback(self):
+        calls = []
+        cb = LambdaCallback(lambda trainer, epoch, logs: calls.append(epoch))
+        cb.on_epoch_end(None, 3, {})
+        assert calls == [3]
+
+    def test_hessian_norm_callback_logs(self):
+        from repro import nn, optim
+        from repro.core import HessianNormCallback, make_trainer
+        from repro.data import ArrayDataset, DataLoader
+
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.standard_normal((30, 4)), rng.integers(0, 2, 30))
+        from repro.models import MLP
+
+        model = MLP(4, hidden=(8,), num_classes=2, rng=rng)
+        loader = DataLoader(ds, batch_size=15, seed=0)
+        cb = HessianNormCallback(loader, nn.CrossEntropyLoss(), h=0.01, max_batches=1)
+        trainer = make_trainer(
+            "sgd", model, nn.CrossEntropyLoss(),
+            optim.SGD(model.parameters(), lr=0.1), callbacks=[cb],
+        )
+        history = trainer.fit(DataLoader(ds, batch_size=15, seed=1), epochs=2)
+        values = history["hessian_norm"]
+        assert len(values) == 2
+        assert all(v is not None and v >= 0 for v in values)
+
+    def test_hessian_norm_callback_every(self):
+        from repro.core import HessianNormCallback
+
+        cb = HessianNormCallback(loader=None, loss_fn=None, every=2)
+        logs = {}
+        cb.on_epoch_end(None, 1, logs)  # epoch 1 skipped (1 % 2 != 0)
+        assert "hessian_norm" not in logs

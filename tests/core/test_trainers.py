@@ -1,0 +1,126 @@
+"""Trainer loop behaviour on real (tiny) models and data."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.core import make_trainer, available_methods, Callback
+from repro.data import ArrayDataset, DataLoader, gaussian_blobs
+from repro.models import MLP
+
+
+def make_problem(seed=0):
+    ds = gaussian_blobs(n=90, num_classes=3, spread=2.5, noise=0.4, seed=seed)
+    model = MLP(2, hidden=(16,), num_classes=3, rng=np.random.default_rng(seed))
+    return ds, model
+
+
+def make_trainer_for(method, model, epochs=5, **kwargs):
+    loss_fn = nn.CrossEntropyLoss()
+    opt = optim.SGD(model.parameters(), lr=0.2, momentum=0.9)
+    sched = optim.CosineAnnealingLR(opt, t_max=epochs)
+    return make_trainer(method, model, loss_fn, opt, scheduler=sched, **kwargs)
+
+
+class TestAllMethodsTrain:
+    @pytest.mark.parametrize("method", ["sgd", "grad_l1", "first_order", "hero"])
+    def test_loss_decreases_and_accuracy_rises(self, method):
+        ds, model = make_problem()
+        kwargs = {}
+        if method in ("hero", "first_order"):
+            kwargs["h"] = 0.01
+        if method == "hero":
+            kwargs["gamma"] = 0.02
+        if method == "grad_l1":
+            kwargs["lambda_l1"] = 0.001
+        trainer = make_trainer_for(method, model, **kwargs)
+        loader = DataLoader(ds, batch_size=30, seed=0)
+        history = trainer.fit(loader, epochs=5, test_loader=DataLoader(ds, batch_size=90, shuffle=False))
+        losses = history["train_loss"]
+        assert losses[-1] < losses[0]
+        assert history["test_acc"][-1] > 0.8
+
+    def test_available_methods(self):
+        assert available_methods() == ["cure", "first_order", "grad_l1", "hero", "qat", "sgd"]
+
+    def test_unknown_method_raises(self):
+        ds, model = make_problem()
+        with pytest.raises(KeyError):
+            make_trainer("adamw", model, nn.CrossEntropyLoss(), optim.SGD(model.parameters(), lr=0.1))
+
+
+class TestLoop:
+    def test_history_columns(self):
+        ds, model = make_problem()
+        trainer = make_trainer_for("sgd", model)
+        loader = DataLoader(ds, batch_size=30, seed=0)
+        history = trainer.fit(loader, epochs=3, test_loader=DataLoader(ds, batch_size=90, shuffle=False))
+        for col in ("epoch", "lr", "train_loss", "train_acc", "test_loss", "test_acc"):
+            assert col in history.columns()
+            assert len(history[col]) == 3
+
+    def test_scheduler_steps_per_epoch(self):
+        ds, model = make_problem()
+        trainer = make_trainer_for("sgd", model, epochs=4)
+        loader = DataLoader(ds, batch_size=30, seed=0)
+        history = trainer.fit(loader, epochs=4)
+        lrs = history["lr"]
+        assert lrs[0] == 0.2  # logged before the scheduler's first step
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_callbacks_invoked_in_order(self):
+        events = []
+
+        class Recorder(Callback):
+            def on_train_begin(self, trainer):
+                events.append("begin")
+
+            def on_epoch_end(self, trainer, epoch, logs):
+                events.append(f"epoch{epoch}")
+                logs["custom_metric"] = 42.0
+
+            def on_train_end(self, trainer):
+                events.append("end")
+
+        ds, model = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+        opt = optim.SGD(model.parameters(), lr=0.1)
+        trainer = make_trainer("sgd", model, loss_fn, opt, callbacks=[Recorder()])
+        history = trainer.fit(DataLoader(ds, batch_size=30, seed=0), epochs=2)
+        assert events == ["begin", "epoch0", "epoch1", "end"]
+        assert history["custom_metric"] == [42.0, 42.0]
+
+    def test_evaluate_restores_train_mode(self):
+        ds, model = make_problem()
+        trainer = make_trainer_for("sgd", model)
+        trainer.evaluate(DataLoader(ds, batch_size=30, shuffle=False))
+        assert model.training
+
+    def test_evaluate_returns_loss_and_acc(self):
+        ds, model = make_problem()
+        trainer = make_trainer_for("sgd", model)
+        loss, acc = trainer.evaluate(DataLoader(ds, batch_size=30, shuffle=False))
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+
+class TestBNInteraction:
+    def test_hero_trains_bn_model(self):
+        """HERO's double forward/backward must work through BatchNorm."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 3, 6, 6))
+        y = rng.integers(0, 3, 60)
+        ds = ArrayDataset(x, y)
+        model = nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(6),
+            nn.ReLU(),
+            nn.GlobalAvgPool2d(),
+            nn.Linear(6, 3, rng=rng),
+        )
+        loss_fn = nn.CrossEntropyLoss()
+        opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+        trainer = make_trainer("hero", model, loss_fn, opt, h=0.01, gamma=0.05)
+        history = trainer.fit(DataLoader(ds, batch_size=20, seed=0), epochs=3)
+        assert history["train_loss"][-1] < history["train_loss"][0] + 0.5
+        assert np.all(np.isfinite(model.state_dict()["0.weight"]))

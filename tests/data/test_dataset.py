@@ -1,0 +1,90 @@
+"""ArrayDataset and DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+
+
+def make_dataset(n=20):
+    rng = np.random.default_rng(0)
+    return ArrayDataset(rng.standard_normal((n, 3)), np.arange(n))
+
+
+class TestArrayDataset:
+    def test_len_getitem(self):
+        ds = make_dataset(10)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (3,)
+        assert y == 3
+
+    def test_fancy_indexing(self):
+        ds = make_dataset(10)
+        x, y = ds[np.array([1, 3, 5])]
+        assert x.shape == (3, 3)
+        assert list(y) == [1, 3, 5]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = ds.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert list(sub.targets) == [0, 2, 4]
+
+    def test_with_targets_shares_inputs(self):
+        ds = make_dataset(5)
+        ds2 = ds.with_targets(np.zeros(5, dtype=int))
+        assert ds2.inputs is ds.inputs
+        assert np.all(ds2.targets == 0)
+
+
+class TestDataLoader:
+    def test_batch_sizes(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        sizes = [len(y) for _x, y in loader]
+        assert sizes == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_drop_last(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, batch_size=4, shuffle=False, drop_last=True)
+        sizes = [len(y) for _x, y in loader]
+        assert sizes == [4, 4]
+        assert len(loader) == 2
+
+    def test_covers_all_samples(self):
+        ds = make_dataset(17)
+        loader = DataLoader(ds, batch_size=5, shuffle=True, seed=3)
+        seen = np.concatenate([y for _x, y in loader])
+        assert sorted(seen) == list(range(17))
+
+    def test_shuffle_reproducible_and_varies_per_epoch(self):
+        ds = make_dataset(16)
+        loader_a = DataLoader(ds, batch_size=16, shuffle=True, seed=5)
+        loader_b = DataLoader(ds, batch_size=16, shuffle=True, seed=5)
+        order_a1 = next(iter(loader_a))[1]
+        order_b1 = next(iter(loader_b))[1]
+        assert np.all(order_a1 == order_b1)
+        order_a2 = next(iter(loader_a))[1]
+        assert not np.all(order_a1 == order_a2)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_dataset(8)
+        loader = DataLoader(ds, batch_size=8, shuffle=False)
+        _x, y = next(iter(loader))
+        assert list(y) == list(range(8))
+
+    def test_transform_applied(self):
+        ds = make_dataset(6)
+        loader = DataLoader(ds, batch_size=3, shuffle=False, transform=lambda x, rng: x * 0)
+        for x, _y in loader:
+            assert np.all(x == 0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(4), batch_size=0)

@@ -1,0 +1,128 @@
+"""Toy datasets, augmentation transforms and label-noise corruption."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    corrupt_dataset,
+    corrupt_symmetric,
+    gaussian_blobs,
+    random_crop,
+    random_horizontal_flip,
+    spirals,
+    standard_augment,
+    train_test_split,
+    two_moons,
+)
+
+
+class TestToyDatasets:
+    def test_two_moons(self):
+        ds = two_moons(n=100, seed=0)
+        assert ds.inputs.shape == (100, 2)
+        assert set(np.unique(ds.targets)) == {0, 1}
+
+    def test_spirals(self):
+        ds = spirals(n=99, num_classes=3, seed=0)
+        assert ds.inputs.shape == (99, 2)
+        assert set(np.unique(ds.targets)) == {0, 1, 2}
+
+    def test_blobs_separable(self):
+        ds = gaussian_blobs(n=300, num_classes=3, spread=3.0, noise=0.2, seed=0)
+        # nearest-centroid should be nearly perfect at this spread
+        centroids = np.stack([ds.inputs[ds.targets == c].mean(axis=0) for c in range(3)])
+        d = ((ds.inputs[:, None, :] - centroids[None]) ** 2).sum(-1)
+        assert (d.argmin(1) == ds.targets).mean() > 0.95
+
+    def test_deterministic(self):
+        a = spirals(n=60, seed=4)
+        b = spirals(n=60, seed=4)
+        assert np.allclose(a.inputs, b.inputs)
+
+    def test_train_test_split(self):
+        ds = two_moons(n=100, seed=0)
+        train, test = train_test_split(ds, test_fraction=0.3, seed=1)
+        assert len(train) == 70
+        assert len(test) == 30
+
+
+class TestAugmentation:
+    def test_random_crop_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((4, 3, 8, 8))
+        out = random_crop(batch, rng, padding=2)
+        assert out.shape == batch.shape
+
+    def test_random_crop_zero_padding_visible(self):
+        rng = np.random.default_rng(0)
+        batch = np.ones((50, 1, 4, 4))
+        out = random_crop(batch, rng, padding=2)
+        assert (out == 0).any()  # some crops include padded zeros
+
+    def test_flip_probability(self):
+        rng = np.random.default_rng(0)
+        batch = np.arange(4.0)[None, None, None, :].repeat(200, axis=0)
+        out = random_horizontal_flip(batch, rng, p=0.5)
+        flipped = (out[:, 0, 0, 0] == 3.0).mean()
+        assert 0.35 < flipped < 0.65
+
+    def test_flip_p0_identity(self):
+        rng = np.random.default_rng(0)
+        batch = np.random.default_rng(1).standard_normal((5, 3, 4, 4))
+        assert np.allclose(random_horizontal_flip(batch, rng, p=0.0), batch)
+
+    def test_standard_augment_transform(self):
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((4, 3, 8, 8))
+        transform = standard_augment(padding=1)
+        out = transform(batch, rng)
+        assert out.shape == batch.shape
+
+    def test_augment_does_not_mutate_input(self):
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((4, 3, 8, 8))
+        original = batch.copy()
+        standard_augment()(batch, rng)
+        assert np.allclose(batch, original)
+
+
+class TestLabelNoise:
+    def test_ratio_respected(self):
+        labels = np.arange(1000) % 10
+        noisy, mask = corrupt_symmetric(labels, 0.4, 10, seed=0)
+        assert mask.sum() == 400
+        # labels outside the mask untouched
+        assert np.all(noisy[~mask] == labels[~mask])
+
+    def test_symmetric_allows_same_label(self):
+        # uniform over all classes: ~1/C of corrupted entries keep their label
+        labels = np.zeros(2000, dtype=int)
+        noisy, mask = corrupt_symmetric(labels, 1.0, 10, seed=0)
+        same = (noisy[mask] == 0).mean()
+        assert 0.05 < same < 0.15
+
+    def test_zero_ratio_identity(self):
+        labels = np.arange(50) % 5
+        noisy, mask = corrupt_symmetric(labels, 0.0, 5, seed=0)
+        assert np.all(noisy == labels)
+        assert not mask.any()
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            corrupt_symmetric(np.zeros(10, dtype=int), 1.5, 10)
+
+    def test_deterministic(self):
+        labels = np.arange(100) % 10
+        n1, m1 = corrupt_symmetric(labels, 0.3, 10, seed=7)
+        n2, m2 = corrupt_symmetric(labels, 0.3, 10, seed=7)
+        assert np.all(n1 == n2)
+        assert np.all(m1 == m2)
+
+    def test_corrupt_dataset(self):
+        from repro.data import ArrayDataset
+
+        ds = ArrayDataset(np.zeros((20, 2)), np.arange(20) % 4)
+        noisy_ds, mask = corrupt_dataset(ds, 0.5, 4, seed=0)
+        assert len(noisy_ds) == 20
+        assert mask.sum() == 10
+        assert noisy_ds.inputs is ds.inputs

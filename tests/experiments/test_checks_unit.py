@@ -1,0 +1,118 @@
+"""Unit tests for the artifact check functions (no training)."""
+
+from repro.experiments import (
+    check_fig1,
+    check_fig1_schemes,
+    check_fig2,
+    check_fig3,
+    check_table1,
+    check_table2,
+    check_table3,
+)
+
+
+class TestTable1Check:
+    def test_all_hero_wins_clean(self):
+        result = {"rows": [
+            {"dataset": "d", "model": "m", "hero": 0.9, "grad_l1": 0.8, "sgd": 0.7},
+        ]}
+        assert check_table1(result) == []
+
+    def test_flags_losing_row(self):
+        result = {"rows": [
+            {"dataset": "d", "model": "m", "hero": 0.6, "grad_l1": 0.8, "sgd": 0.7},
+        ]}
+        violations = check_table1(result)
+        assert len(violations) == 1
+        assert "grad_l1" in violations[0]
+
+
+class TestTable2Check:
+    def test_flags_only_bad_cells(self):
+        result = {"panels": {"M": [
+            {"noise_ratio": 0.2, "hero": 0.9, "grad_l1": 0.5, "sgd": 0.5},
+            {"noise_ratio": 0.8, "hero": 0.3, "grad_l1": 0.5, "sgd": 0.2},
+        ]}}
+        violations = check_table2(result)
+        assert len(violations) == 1
+        assert "80%" in violations[0]
+
+
+class TestTable3Check:
+    def test_clean_when_hero_dominates(self):
+        result = {"rows": [
+            {"method": "hero", "full": 0.9, "q4": 0.88, "q6": 0.89, "q8": 0.9},
+            {"method": "first_order", "full": 0.88, "q4": 0.83, "q6": 0.86, "q8": 0.87},
+            {"method": "sgd", "full": 0.85, "q4": 0.7, "q6": 0.8, "q8": 0.84},
+        ], "bits": [4, 6, 8]}
+        assert check_table3(result) == []
+
+    def test_flags_hero_bigger_drop(self):
+        result = {"rows": [
+            {"method": "hero", "full": 0.9, "q4": 0.5, "q6": 0.89, "q8": 0.9},
+            {"method": "first_order", "full": 0.88, "q4": 0.85, "q6": 0.86, "q8": 0.87},
+            {"method": "sgd", "full": 0.85, "q4": 0.84, "q6": 0.8, "q8": 0.84},
+        ], "bits": [4, 6, 8]}
+        violations = check_table3(result)
+        assert violations  # drop 0.4 vs sgd 0.01
+
+
+class TestFig1Check:
+    def test_only_low_bits_inspected(self):
+        result = {
+            "bits": [3, 8],
+            "panels": {"a": {"dataset": "d", "model": "m", "curves": {
+                "hero": {"accuracy": [0.5, 0.2]},
+                "grad_l1": {"accuracy": [0.4, 0.9]},   # beats hero at 8 bits only
+                "sgd": {"accuracy": [0.3, 0.9]},
+            }}},
+        }
+        assert check_fig1(result, low_bits=4) == []
+
+    def test_low_bit_loss_flagged(self):
+        result = {
+            "bits": [3],
+            "panels": {"a": {"dataset": "d", "model": "m", "curves": {
+                "hero": {"accuracy": [0.2]},
+                "grad_l1": {"accuracy": [0.4]},
+                "sgd": {"accuracy": [0.1]},
+            }}},
+        }
+        violations = check_fig1(result)
+        assert len(violations) == 1
+
+
+class TestFig2Check:
+    def test_hero_lowest_clean(self):
+        result = {"gap_window": 2, "series": {
+            "hero": {"hessian_norm": [5.0, 1.0], "generalization_gap": [0.2, 0.1]},
+            "grad_l1": {"hessian_norm": [5.0, 2.0], "generalization_gap": [0.3, 0.2]},
+            "sgd": {"hessian_norm": [5.0, 3.0], "generalization_gap": [0.4, 0.3]},
+        }}
+        assert check_fig2(result) == []
+
+    def test_missing_series_flagged(self):
+        result = {"gap_window": 2, "series": {
+            "hero": {"hessian_norm": [None], "generalization_gap": []},
+            "grad_l1": {"hessian_norm": [1.0], "generalization_gap": [0.1]},
+            "sgd": {"hessian_norm": [2.0], "generalization_gap": [0.2]},
+        }}
+        assert any("missing" in v for v in check_fig2(result))
+
+
+class TestFig3AndSchemes:
+    def test_fig3_flags_smaller_flat_area(self):
+        result = {"surfaces": {
+            "hero": {"flat_area": 0.1},
+            "sgd": {"flat_area": 0.3},
+        }}
+        assert check_fig3(result)
+
+    def test_schemes_check(self):
+        result = {"rows": [
+            {"scheme": "s1", "hero": 0.5, "grad_l1": 0.4, "sgd": 0.3},
+            {"scheme": "s2", "hero": 0.3, "grad_l1": 0.4, "sgd": 0.3},
+        ]}
+        violations = check_fig1_schemes(result)
+        assert len(violations) == 1
+        assert "s2" in violations[0]

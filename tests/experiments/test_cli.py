@@ -1,0 +1,49 @@
+"""CLI entry point for the experiment harness."""
+
+import io
+
+import pytest
+
+from repro.experiments.cli import ARTIFACTS, build_parser, run_artifact
+
+
+class TestParser:
+    def test_artifact_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--profile", "smoke"])
+        assert args.artifact == "table1"
+        assert args.profile == "smoke"
+
+    def test_all_choice(self):
+        args = build_parser().parse_args(["all"])
+        assert args.artifact == "all"
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_every_paper_artifact_registered(self):
+        for name in ("table1", "table2", "table3", "fig1", "fig2", "fig3"):
+            assert name in ARTIFACTS
+
+
+class TestRunArtifact:
+    def test_table3_smoke(self, tmp_path):
+        out = io.StringIO()
+        json_path = str(tmp_path / "t3.json")
+        violations = run_artifact(
+            "table3", "smoke", seed=0, json_path=json_path, out=out
+        )
+        text = out.getvalue()
+        assert "Table 3" in text
+        assert isinstance(violations, int)
+        import json
+
+        with open(json_path) as fh:
+            payload = json.load(fh)
+        assert "rows" in payload
+
+    def test_fig3_smoke(self):
+        out = io.StringIO()
+        run_artifact("fig3", "smoke", seed=0, out=out)
+        assert "flat area" in out.getvalue()

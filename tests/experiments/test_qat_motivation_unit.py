@@ -1,0 +1,56 @@
+"""Unit tests for the QAT-motivation check logic (no training)."""
+
+from repro.experiments import check_qat_motivation, format_qat_motivation
+
+
+def make_result(qat_curve, hero_curve, qat_bits=4, bits=(3, 4, 8)):
+    def curve(vals, full):
+        return {"accuracy": list(vals), "full_precision": full}
+
+    return {
+        "curves": {
+            "hero": curve(hero_curve[0], hero_curve[1]),
+            "sgd": curve([0.3] * len(bits), 0.3),
+            f"qat@{qat_bits}bit": curve(qat_curve[0], qat_curve[1]),
+        },
+        "bits": list(bits),
+        "qat_bits": qat_bits,
+        "model": "m",
+        "dataset": "d",
+        "profile": "unit",
+    }
+
+
+class TestCheck:
+    def test_ideal_shape_passes(self):
+        # QAT strong at 4 bits, weak elsewhere; HERO uniformly strong.
+        result = make_result(
+            qat_curve=([0.2, 0.6, 0.5], 0.55),
+            hero_curve=([0.5, 0.55, 0.6], 0.6),
+        )
+        assert check_qat_motivation(result) == []
+
+    def test_qat_weak_at_target_flagged(self):
+        result = make_result(
+            qat_curve=([0.2, 0.3, 0.5], 0.6),  # 4-bit far below full
+            hero_curve=([0.5, 0.55, 0.6], 0.6),
+        )
+        violations = check_qat_motivation(result)
+        assert any("target precision" in v for v in violations)
+
+    def test_hero_never_winning_flagged(self):
+        result = make_result(
+            qat_curve=([0.9, 0.9, 0.9], 0.9),
+            hero_curve=([0.1, 0.1, 0.1], 0.1),
+        )
+        violations = check_qat_motivation(result)
+        assert any("off-target" in v for v in violations)
+
+    def test_format_lists_all_curves(self):
+        result = make_result(
+            qat_curve=([0.2, 0.6, 0.5], 0.55),
+            hero_curve=([0.5, 0.55, 0.6], 0.6),
+        )
+        text = format_qat_motivation(result)
+        for name in ("hero", "sgd", "qat@4bit"):
+            assert name in text

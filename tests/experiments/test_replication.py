@@ -1,0 +1,50 @@
+"""Seed replication utilities."""
+
+import numpy as np
+
+from repro.experiments import compare_methods_with_seeds, make_config, run_with_seeds
+
+
+def base_config(method="sgd"):
+    return make_config(
+        "ResNet20-fast", "cifar10_like", method, profile="smoke", epochs=2
+    )
+
+
+class TestRunWithSeeds:
+    def test_stats_structure(self, tmp_path):
+        stats = run_with_seeds(base_config(), seeds=(0, 1), cache_dir=str(tmp_path))
+        assert stats["seeds"] == [0, 1]
+        assert len(stats["results"]) == 2
+        assert 0.0 <= stats["test_acc_mean"] <= 1.0
+        assert stats["test_acc_std"] >= 0.0
+
+    def test_seeds_produce_different_runs(self, tmp_path):
+        stats = run_with_seeds(base_config(), seeds=(0, 1), cache_dir=str(tmp_path))
+        r0, r1 = stats["results"]
+        s0, s1 = r0.model.state_dict(), r1.model.state_dict()
+        assert any(not np.allclose(s0[k], s1[k]) for k in s0)
+
+    def test_single_seed_zero_std(self, tmp_path):
+        stats = run_with_seeds(base_config(), seeds=(3,), cache_dir=str(tmp_path))
+        assert stats["test_acc_std"] == 0.0
+
+    def test_mean_matches_results(self, tmp_path):
+        stats = run_with_seeds(base_config(), seeds=(0, 1), cache_dir=str(tmp_path))
+        manual = np.mean([r.test_acc for r in stats["results"]])
+        assert np.isclose(stats["test_acc_mean"], manual)
+
+
+class TestCompareMethods:
+    def test_structure_and_flags(self, tmp_path):
+        stats = compare_methods_with_seeds(
+            base_config,
+            methods=("hero", "sgd"),
+            seeds=(0, 1),
+            cache_dir=str(tmp_path),
+        )
+        assert set(stats) == {"hero", "sgd"}
+        assert "gap_vs_reference" in stats["hero"]
+        assert isinstance(stats["hero"]["significant"], bool)
+        # reference method carries no gap fields
+        assert "gap_vs_reference" not in stats["sgd"]

@@ -1,0 +1,26 @@
+"""Aggregated results report."""
+
+import os
+
+from repro.experiments import collect_results_markdown, write_results_markdown
+
+
+def test_collects_present_artifacts(tmp_path):
+    (tmp_path / "table1.txt").write_text("Table 1 content here\n")
+    (tmp_path / "fig3.txt").write_text("contours\n")
+    report = collect_results_markdown(str(tmp_path))
+    assert "Table 1 content here" in report
+    assert "contours" in report
+    assert "Artifacts not present" in report  # others are missing
+
+
+def test_write_roundtrip(tmp_path):
+    (tmp_path / "table2.txt").write_text("noisy labels\n")
+    out = write_results_markdown(str(tmp_path), str(tmp_path / "report.md"))
+    assert os.path.exists(out)
+    assert "noisy labels" in open(out).read()
+
+
+def test_empty_dir_still_renders(tmp_path):
+    report = collect_results_markdown(str(tmp_path))
+    assert report.startswith("# Measured results")

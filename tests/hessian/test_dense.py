@@ -1,0 +1,91 @@
+"""Dense Hessian assembly validates the iterative estimators."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hessian import (
+    full_hessian,
+    hessian_spectrum,
+    hvp_exact,
+    lanczos_eigenvalues,
+    parameter_count,
+    power_iteration,
+    hutchinson_trace,
+    eigenvalue_square_sum,
+)
+from repro.models import MLP
+
+
+def make_setup(seed=0, hidden=(6,)):
+    rng = np.random.default_rng(seed)
+    model = MLP(3, hidden=hidden, num_classes=2, rng=rng)
+    x = rng.standard_normal((12, 3))
+    y = rng.integers(0, 2, 12)
+    return model, nn.CrossEntropyLoss(), x, y
+
+
+class TestDenseHessian:
+    def test_symmetric(self):
+        model, loss_fn, x, y = make_setup()
+        h = full_hessian(model, loss_fn, x, y)
+        assert h.shape == (parameter_count(model),) * 2
+        assert np.allclose(h, h.T, atol=1e-8)
+
+    def test_matches_hvp(self):
+        model, loss_fn, x, y = make_setup()
+        h = full_hessian(model, loss_fn, x, y)
+        rng = np.random.default_rng(1)
+        params = list(model.parameters())
+        vectors = [rng.standard_normal(p.shape) for p in params]
+        flat_v = np.concatenate([v.reshape(-1) for v in vectors])
+        hv = hvp_exact(model, loss_fn, x, y, vectors)
+        flat_hv = np.concatenate([v.reshape(-1) for v in hv])
+        assert np.allclose(h @ flat_v, flat_hv, atol=1e-8)
+
+    def test_power_iteration_matches_eigh(self):
+        model, loss_fn, x, y = make_setup()
+        spectrum = hessian_spectrum(model, loss_fn, x, y)
+        dominant_true = spectrum[np.argmax(np.abs(spectrum))]
+        params = list(model.parameters())
+        shapes = [p.shape for p in params]
+        value, _vec, _hist = power_iteration(
+            lambda v: hvp_exact(model, loss_fn, x, y, v), shapes, iters=200, tol=1e-10
+        )
+        assert np.isclose(value, dominant_true, rtol=1e-2)
+
+    def test_lanczos_matches_eigh(self):
+        model, loss_fn, x, y = make_setup()
+        spectrum = hessian_spectrum(model, loss_fn, x, y)
+        params = list(model.parameters())
+        shapes = [p.shape for p in params]
+        top3 = lanczos_eigenvalues(
+            lambda v: hvp_exact(model, loss_fn, x, y, v), shapes, k=3, which="LA"
+        )
+        assert np.allclose(top3, spectrum[::-1][:3], atol=1e-2)
+
+    def test_hutchinson_matches_trace(self):
+        model, loss_fn, x, y = make_setup()
+        h = full_hessian(model, loss_fn, x, y)
+        params = list(model.parameters())
+        shapes = [p.shape for p in params]
+        estimate, _vals = hutchinson_trace(
+            lambda v: hvp_exact(model, loss_fn, x, y, v), shapes, samples=64, seed=0
+        )
+        assert np.isclose(estimate, np.trace(h), rtol=0.3)
+
+    def test_eq13_estimator_matches_frobenius(self):
+        # sum(lambda^2) = ||H||_F^2 for symmetric H
+        model, loss_fn, x, y = make_setup()
+        h = full_hessian(model, loss_fn, x, y)
+        params = list(model.parameters())
+        shapes = [p.shape for p in params]
+        estimate, _vals = eigenvalue_square_sum(
+            lambda v: hvp_exact(model, loss_fn, x, y, v), shapes, samples=128, seed=0
+        )
+        assert np.isclose(estimate, np.sum(h * h), rtol=0.35)
+
+    def test_refuses_large_models(self):
+        model, loss_fn, x, y = make_setup(hidden=(64, 64))
+        with pytest.raises(ValueError):
+            full_hessian(model, loss_fn, x, y, max_params=100)

@@ -1,0 +1,214 @@
+"""Model zoo: shapes, determinism, architecture structure, trainability."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    available_models,
+    create_model,
+    mobilenet_v2,
+    register_model,
+    resnet8,
+    resnet18,
+    resnet20,
+    vgg6_bn,
+    vgg8_bn,
+)
+from repro.models.mobilenetv2 import InvertedResidual
+from repro.tensor import Tensor
+
+
+def _forward(model, n=2, c=3, size=8):
+    x = np.random.default_rng(0).standard_normal((n, c, size, size))
+    return model(Tensor(x))
+
+
+class TestResNet:
+    def test_resnet20_output_shape(self):
+        model = resnet20(num_classes=10, base_width=4, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 10)
+
+    def test_resnet20_depth_structure(self):
+        model = resnet20(base_width=4, rng=np.random.default_rng(0))
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        # stem + 18 block convs + 2 downsample shortcuts = 21
+        assert len(convs) == 21
+
+    def test_resnet8(self):
+        model = resnet8(num_classes=5, base_width=4, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 5)
+
+    def test_resnet18_stages(self):
+        model = resnet18(num_classes=7, base_width=4, rng=np.random.default_rng(0))
+        out = _forward(model, size=16)
+        assert out.shape == (2, 7)
+
+    def test_invalid_depth_raises(self):
+        from repro.models import CifarResNet
+
+        with pytest.raises(ValueError):
+            CifarResNet(depth=21)
+
+    def test_spatial_downsampling(self):
+        model = resnet20(base_width=4, rng=np.random.default_rng(0))
+        # stage3 output spatial dims = input/4
+        x = Tensor(np.random.default_rng(0).standard_normal((1, 3, 8, 8)))
+        h = model.bn1(model.conv1(x)).relu()
+        h = model.stage3(model.stage2(model.stage1(h)))
+        assert h.shape == (1, 16, 2, 2)
+
+    def test_deterministic_construction(self):
+        m1 = resnet8(base_width=4, rng=np.random.default_rng(9))
+        m2 = resnet8(base_width=4, rng=np.random.default_rng(9))
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_groupnorm_variant(self):
+        from repro.models import resnet8_gn
+
+        model = resnet8_gn(num_classes=5, base_width=8, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 5)
+        # no BatchNorm modules, so no running-stat buffers beyond none
+        assert not any(isinstance(m, nn.BatchNorm2d) for m in model.modules())
+        assert any(isinstance(m, nn.GroupNorm) for m in model.modules())
+
+    def test_groupnorm_variant_batch_independent(self):
+        from repro.models import resnet8_gn
+        from repro.tensor import no_grad
+
+        model = resnet8_gn(num_classes=4, base_width=8, rng=np.random.default_rng(1))
+        model.eval()
+        x = np.random.default_rng(2).standard_normal((4, 3, 8, 8))
+        with no_grad():
+            full = model(Tensor(x)).data
+            single = model(Tensor(x[:1])).data
+        assert np.allclose(full[:1], single, atol=1e-10)
+
+    def test_invalid_norm_raises(self):
+        from repro.models.resnet import CifarResNet
+
+        with pytest.raises(ValueError):
+            CifarResNet(8, norm="instance")
+
+
+class TestMobileNetV2:
+    def test_output_shape(self):
+        model = mobilenet_v2(num_classes=10, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 10)
+
+    def test_contains_depthwise_convs(self):
+        model = mobilenet_v2(rng=np.random.default_rng(0))
+        depthwise = [
+            m
+            for m in model.modules()
+            if isinstance(m, nn.Conv2d) and m.groups == m.in_channels and m.groups > 1
+        ]
+        assert len(depthwise) >= 4
+
+    def test_residual_blocks_exist(self):
+        model = mobilenet_v2(rng=np.random.default_rng(0))
+        residuals = [
+            m for m in model.modules() if isinstance(m, InvertedResidual) and m.use_residual
+        ]
+        assert len(residuals) >= 1
+
+    def test_width_mult_scales_params(self):
+        small = mobilenet_v2(width_mult=0.5, rng=np.random.default_rng(0))
+        big = mobilenet_v2(width_mult=1.0, rng=np.random.default_rng(0))
+        assert big.num_parameters() > small.num_parameters()
+
+    def test_invalid_stride_raises(self):
+        with pytest.raises(ValueError):
+            InvertedResidual(8, 8, stride=3, expand_ratio=6)
+
+
+class TestVGG:
+    def test_output_shape(self):
+        model = vgg8_bn(num_classes=10, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 10)
+
+    def test_vgg6(self):
+        model = vgg6_bn(num_classes=4, rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 4)
+
+    def test_has_bn_after_each_conv(self):
+        model = vgg8_bn(rng=np.random.default_rng(0))
+        layers = list(model.features)
+        for i, layer in enumerate(layers):
+            if isinstance(layer, nn.Conv2d):
+                assert isinstance(layers[i + 1], nn.BatchNorm2d)
+
+    def test_unknown_config_raises(self):
+        from repro.models import VGG
+
+        with pytest.raises(KeyError):
+            VGG("vgg99")
+
+
+class TestMLP:
+    def test_flattens_images(self):
+        model = MLP(in_features=3 * 8 * 8, hidden=(16,), num_classes=5,
+                    rng=np.random.default_rng(0))
+        assert _forward(model).shape == (2, 5)
+
+    def test_2d_input(self):
+        model = MLP(2, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 2)))
+        assert model(x).shape == (4, 3)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            MLP(2, activation="swish")
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        for expected in ("resnet20", "resnet8", "mobilenetv2", "vgg8_bn", "mlp"):
+            assert expected in names
+
+    def test_create_model_deterministic(self):
+        m1 = create_model("resnet8", num_classes=10, scale=0.5, seed=1)
+        m2 = create_model("resnet8", num_classes=10, scale=0.5, seed=1)
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            assert np.allclose(p1.data, p2.data)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("alexnet", num_classes=10)
+
+    def test_register_model(self):
+        register_model("custom_for_test", lambda **kw: MLP(2, hidden=(4,), num_classes=2))
+        model = create_model("custom_for_test", num_classes=2)
+        assert isinstance(model, MLP)
+        with pytest.raises(KeyError):
+            register_model("custom_for_test", lambda **kw: None)
+
+    def test_all_registered_models_forward(self):
+        for name in ("resnet8", "mobilenetv2", "vgg6_bn"):
+            model = create_model(name, num_classes=4, scale=0.5, seed=0)
+            assert _forward(model).shape == (2, 4)
+
+
+class TestTrainability:
+    def test_gradients_reach_every_parameter(self):
+        from repro.nn import cross_entropy
+
+        model = create_model("mobilenetv2", num_classes=4, scale=0.5, seed=0)
+        x = np.random.default_rng(0).standard_normal((4, 3, 8, 8))
+        y = np.array([0, 1, 2, 3])
+        loss = cross_entropy(model(Tensor(x)), y)
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"parameters without gradient: {missing}"
+
+    def test_resnet_gradients_reach_every_parameter(self):
+        from repro.nn import cross_entropy
+
+        model = create_model("resnet8", num_classes=4, scale=0.5, seed=0)
+        x = np.random.default_rng(0).standard_normal((4, 3, 8, 8))
+        y = np.array([0, 1, 2, 3])
+        cross_entropy(model(Tensor(x)), y).backward()
+        assert all(p.grad is not None for p in model.parameters())

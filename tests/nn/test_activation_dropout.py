@@ -1,0 +1,62 @@
+"""Activation modules and dropout."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestActivations:
+    def test_relu(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert np.allclose(nn.ReLU()(Tensor(x)).data, np.maximum(x, 0))
+
+    def test_relu6(self, rng):
+        x = rng.standard_normal((3, 3)) * 10
+        assert np.allclose(nn.ReLU6()(Tensor(x)).data, np.clip(x, 0, 6))
+
+    def test_tanh_sigmoid(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert np.allclose(nn.Tanh()(Tensor(x)).data, np.tanh(x))
+        assert np.allclose(nn.Sigmoid()(Tensor(x)).data, 1 / (1 + np.exp(-x)))
+
+    def test_leaky_relu(self, rng):
+        x = rng.standard_normal((4, 4))
+        out = nn.LeakyReLU(0.1)(Tensor(x)).data
+        assert np.allclose(out, np.where(x > 0, x, 0.1 * x))
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.standard_normal((10, 10))
+        assert np.allclose(drop(Tensor(x)).data, x)
+
+    def test_p_zero_is_identity(self, rng):
+        drop = nn.Dropout(0.0, rng=rng)
+        x = rng.standard_normal((10, 10))
+        assert np.allclose(drop(Tensor(x)).data, x)
+
+    def test_training_zeroes_and_scales(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop(Tensor(x)).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        assert np.allclose(surviving, 2.0)  # inverted scaling by 1/(1-p)
+
+    def test_mean_approximately_preserved(self):
+        drop = nn.Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((200, 200))
+        out = drop(Tensor(x)).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_p_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)

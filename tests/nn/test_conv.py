@@ -1,0 +1,146 @@
+"""Conv2d: values vs scipy, gradients, grouping, shape arithmetic."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient, check_hvp
+
+
+def reference_conv(x, w, b=None, stride=1, padding=0):
+    """Direct scipy cross-correlation reference (groups=1)."""
+    n, c, h, wd = x.shape
+    oc = w.shape[0]
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    outs = []
+    for i in range(n):
+        maps = []
+        for o in range(oc):
+            acc = sum(correlate(xp[i, ch], w[o, ch], mode="valid") for ch in range(c))
+            maps.append(acc[::stride, ::stride])
+        outs.append(np.stack(maps))
+    out = np.stack(outs)
+    if b is not None:
+        out = out + b[None, :, None, None]
+    return out
+
+
+class TestForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_scipy(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        ours = nn.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = reference_conv(x, w, b, stride=stride, padding=padding)
+        assert ours.shape == ref.shape
+        assert np.allclose(ours.data, ref)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        w = rng.standard_normal((5, 3, 1, 1))
+        out = nn.conv2d(Tensor(x), Tensor(w)).data
+        ref = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        assert np.allclose(out, ref)
+
+    def test_depthwise_matches_per_channel(self, rng):
+        x = rng.standard_normal((2, 4, 6, 6))
+        w = rng.standard_normal((4, 1, 3, 3))
+        out = nn.conv2d(Tensor(x), Tensor(w), padding=1, groups=4).data
+        for c in range(4):
+            ref = reference_conv(x[:, c : c + 1], w[c : c + 1], padding=1)
+            assert np.allclose(out[:, c : c + 1], ref)
+
+    def test_grouped_matches_split_convs(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        w = rng.standard_normal((6, 2, 3, 3))
+        out = nn.conv2d(Tensor(x), Tensor(w), padding=1, groups=2).data
+        ref0 = reference_conv(x[:, :2], w[:3], padding=1)
+        ref1 = reference_conv(x[:, 2:], w[3:], padding=1)
+        assert np.allclose(out, np.concatenate([ref0, ref1], axis=1))
+
+    def test_dilation(self, rng):
+        # dilation=2 equals convolving with a zero-interleaved kernel
+        x = rng.standard_normal((1, 1, 7, 7))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = nn.conv2d(Tensor(x), Tensor(w), dilation=2).data
+        w_dil = np.zeros((1, 1, 5, 5))
+        w_dil[0, 0, ::2, ::2] = w[0, 0]
+        ref = reference_conv(x, w_dil)
+        assert np.allclose(out, ref)
+
+    def test_output_size_formula(self):
+        assert nn.conv_output_size(8, 3, 1, 1) == 8
+        assert nn.conv_output_size(8, 3, 2, 1) == 4
+        assert nn.conv_output_size(7, 3, 2, 0) == 3
+
+    def test_bad_channels_raise(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            nn.conv2d(x, w)
+
+    def test_kernel_too_large_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 3, 3)))
+        w = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            nn.conv2d(x, w)
+
+
+class TestGradients:
+    def test_input_weight_bias_grads(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+
+        def f(xx, ww, bb):
+            return (nn.conv2d(xx, ww, bb, stride=2, padding=1) ** 2).sum()
+
+        check_gradient(f, [x, w, b], index=0, eps=1e-5)
+        check_gradient(f, [x, w, b], index=1, eps=1e-5)
+        check_gradient(f, [x, w, b], index=2, eps=1e-5)
+
+    def test_grouped_grads(self, rng):
+        x = rng.standard_normal((2, 4, 4, 4))
+        w = rng.standard_normal((4, 2, 3, 3))
+
+        def f(xx, ww):
+            return (nn.conv2d(xx, ww, padding=1, groups=2) ** 2).sum()
+
+        check_gradient(f, [x, w], index=0, eps=1e-5)
+        check_gradient(f, [x, w], index=1, eps=1e-5)
+
+    def test_second_order_through_conv(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((2, 2, 3, 3))
+        v = rng.standard_normal(w.shape)
+        check_hvp(
+            lambda ww: (nn.conv2d(Tensor(x), ww, padding=1).tanh() ** 2).sum(),
+            [w],
+            v,
+            eps=1e-4,
+            atol=1e-3,
+            rtol=1e-2,
+        )
+
+
+class TestConvModule:
+    def test_layer_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias(self, rng):
+        layer = nn.Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_invalid_groups_raise(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+    def test_deterministic_init(self):
+        l1 = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        l2 = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        assert np.allclose(l1.weight.data, l2.weight.data)

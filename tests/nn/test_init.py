@@ -1,0 +1,69 @@
+"""Initializer statistics and fan computation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.nn.module import Parameter
+
+
+class TestFans:
+    def test_linear_fans(self):
+        assert init._fan_in_out((10, 20)) == (20, 10)
+
+    def test_conv_fans(self):
+        # (out_c=8, in_c=4, 3, 3): fan_in = 4*9, fan_out = 8*9
+        assert init._fan_in_out((8, 4, 3, 3)) == (36, 72)
+
+    def test_1d_fans(self):
+        assert init._fan_in_out((7,)) == (7, 7)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((2, 3, 4))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.empty((256, 128)))
+        init.kaiming_normal_(p, rng)
+        expected = np.sqrt(2.0 / 128)
+        assert np.isclose(p.data.std(), expected, rtol=0.1)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.empty((64, 64)))
+        init.kaiming_uniform_(p, rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(p.data).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.empty((200, 100)))
+        init.xavier_normal_(p, rng)
+        expected = np.sqrt(2.0 / 300)
+        assert np.isclose(p.data.std(), expected, rtol=0.1)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.empty((50, 50)))
+        init.xavier_uniform_(p, rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(p.data).max() <= bound
+
+    def test_constants(self):
+        p = Parameter(np.empty((3, 3)))
+        init.zeros_(p)
+        assert np.all(p.data == 0)
+        init.ones_(p)
+        assert np.all(p.data == 1)
+        init.constant_(p, 2.5)
+        assert np.all(p.data == 2.5)
+
+    def test_deterministic_given_rng(self):
+        p1 = Parameter(np.empty((10, 10)))
+        p2 = Parameter(np.empty((10, 10)))
+        init.kaiming_normal_(p1, np.random.default_rng(3))
+        init.kaiming_normal_(p2, np.random.default_rng(3))
+        assert np.allclose(p1.data, p2.data)

@@ -1,0 +1,47 @@
+"""Linear and Flatten layers."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient
+
+
+class TestLinear:
+    def test_forward_value(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4))
+        out = layer(Tensor(x))
+        ref = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out.data, ref)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        x = rng.standard_normal((2, 4))
+        assert np.allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_gradients(self, rng):
+        x = rng.standard_normal((4, 3))
+        w = rng.standard_normal((2, 3))
+        b = rng.standard_normal(2)
+        check_gradient(lambda xx, ww, bb: (nn.linear(xx, ww, bb) ** 2).sum(), [x, w, b], index=0)
+        check_gradient(lambda xx, ww, bb: (nn.linear(xx, ww, bb) ** 2).sum(), [x, w, b], index=1)
+        check_gradient(lambda xx, ww, bb: (nn.linear(xx, ww, bb) ** 2).sum(), [x, w, b], index=2)
+
+    def test_init_scale_reasonable(self, rng):
+        layer = nn.Linear(100, 50, rng=rng)
+        std = layer.weight.data.std()
+        # Kaiming-uniform bound sqrt(6/100) -> std ~ bound/sqrt(3)
+        assert 0.05 < std < 0.25
+
+    def test_batched_3d_input(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 5, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (2, 5, 3)
+
+
+class TestFlatten:
+    def test_flatten(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 5)))
+        assert nn.Flatten()(x).shape == (2, 60)

@@ -1,0 +1,115 @@
+"""Loss functions: values vs manual reference, gradients, smoothing."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient, check_hvp
+
+
+class TestCrossEntropy:
+    def test_matches_reference(self, rng):
+        logits = rng.standard_normal((6, 4)) * 2
+        y = rng.integers(0, 4, 6)
+        loss = nn.cross_entropy(Tensor(logits), y)
+        logp = scipy_log_softmax(logits, axis=1)
+        ref = -logp[np.arange(6), y].mean()
+        assert np.isclose(loss.data, ref)
+
+    def test_reductions(self, rng):
+        logits = rng.standard_normal((5, 3))
+        y = rng.integers(0, 3, 5)
+        mean = nn.cross_entropy(Tensor(logits), y, reduction="mean").data
+        total = nn.cross_entropy(Tensor(logits), y, reduction="sum").data
+        none = nn.cross_entropy(Tensor(logits), y, reduction="none").data
+        assert np.isclose(total, mean * 5)
+        assert none.shape == (5,)
+        assert np.isclose(none.mean(), mean)
+
+    def test_label_smoothing_value(self, rng):
+        logits = rng.standard_normal((4, 3))
+        y = rng.integers(0, 3, 4)
+        s = 0.2
+        loss = nn.cross_entropy(Tensor(logits), y, label_smoothing=s).data
+        logp = scipy_log_softmax(logits, axis=1)
+        nll = -logp[np.arange(4), y]
+        uniform = -logp.mean(axis=1)
+        assert np.isclose(loss, ((1 - s) * nll + s * uniform).mean())
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((3, 4), -20.0)
+        y = np.array([0, 1, 2])
+        logits[np.arange(3), y] = 20.0
+        loss = nn.cross_entropy(Tensor(logits), y).data
+        assert loss < 1e-8
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((5, 8))
+        y = np.zeros(5, dtype=int)
+        loss = nn.cross_entropy(Tensor(logits), y).data
+        assert np.isclose(loss, np.log(8))
+
+    def test_gradient(self, rng):
+        logits = rng.standard_normal((5, 4))
+        y = rng.integers(0, 4, 5)
+        check_gradient(lambda l: nn.cross_entropy(l, y), [logits])
+        check_gradient(lambda l: nn.cross_entropy(l, y, label_smoothing=0.3), [logits])
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        y = np.array([0, 2, 1, 0])
+        nn.cross_entropy(logits, y, reduction="sum").backward()
+        from scipy.special import softmax
+
+        one_hot = np.eye(3)[y]
+        assert np.allclose(logits.grad.data, softmax(logits.data, axis=1) - one_hot)
+
+    def test_second_order(self, rng):
+        logits = rng.standard_normal((4, 3))
+        y = rng.integers(0, 3, 4)
+        check_hvp(lambda l: nn.cross_entropy(l, y), [logits], rng.standard_normal((4, 3)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(rng.standard_normal((2, 3, 4))), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(rng.standard_normal((2, 3))), np.zeros(5, dtype=int))
+
+    def test_invalid_reduction(self, rng):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(
+                Tensor(rng.standard_normal((2, 3))), np.zeros(2, dtype=int), reduction="bad"
+            )
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0], [-1000.0, 1000.0]])
+        y = np.array([0, 1])
+        loss = nn.cross_entropy(Tensor(logits), y).data
+        assert np.isfinite(loss)
+        assert loss < 1e-8
+
+
+class TestMSE:
+    def test_value(self, rng):
+        pred = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 3))
+        assert np.isclose(
+            nn.mse_loss(Tensor(pred), target).data, ((pred - target) ** 2).mean()
+        )
+
+    def test_gradient(self, rng):
+        pred = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 3))
+        check_gradient(lambda p: nn.mse_loss(p, target), [pred])
+
+    def test_module_wrappers(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)))
+        y = rng.integers(0, 4, 3)
+        assert np.isclose(
+            nn.CrossEntropyLoss()(logits, y).data, nn.cross_entropy(logits, y).data
+        )
+        target = rng.standard_normal((3, 4))
+        assert np.isclose(
+            nn.MSELoss()(logits, target).data, nn.mse_loss(logits, target).data
+        )

@@ -1,0 +1,118 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def build_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 2, rng=rng),
+    )
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        net = build_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_num_parameters(self):
+        net = build_net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_reassignment_replaces_registration(self):
+        net = build_net()
+        net.extra = Parameter(np.zeros(3))
+        assert "extra" in dict(net.named_parameters())
+        net.extra = None
+        assert "extra" not in dict(net.named_parameters())
+
+    def test_buffers_discovered(self):
+        bn = nn.BatchNorm2d(4)
+        names = {n for n, _ in bn.named_buffers()}
+        assert names == {"running_mean", "running_var", "num_batches_tracked"}
+
+    def test_named_modules(self):
+        net = build_net()
+        kinds = [type(m).__name__ for _n, m in net.named_modules()]
+        assert kinds == ["Sequential", "Linear", "ReLU", "Linear"]
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = build_net()
+        for p in net.parameters():
+            p.grad = p  # dummy
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1 = build_net(seed=1)
+        net2 = build_net(seed=2)
+        state = net1.state_dict()
+        net2.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_state_dict_copies(self):
+        net = build_net()
+        state = net.state_dict()
+        state["0.weight"][:] = 0
+        assert not np.allclose(dict(net.named_parameters())["0.weight"].data, 0)
+
+    def test_buffer_roundtrip(self):
+        bn1 = nn.BatchNorm2d(3)
+        bn1.set_buffer("running_mean", np.array([1.0, 2.0, 3.0]))
+        bn2 = nn.BatchNorm2d(3)
+        bn2.load_state_dict(bn1.state_dict())
+        assert np.allclose(bn2.running_mean, [1.0, 2.0, 3.0])
+
+    def test_shape_mismatch_raises(self):
+        net = build_net()
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        net = build_net()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nonexistent.weight": np.zeros(2)})
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        net = build_net()
+        x = rng.standard_normal((5, 4))
+        from repro.tensor import Tensor
+
+        out = net(Tensor(x))
+        assert out.shape == (5, 2)
+
+    def test_len_iter_getitem(self):
+        net = build_net()
+        assert len(net) == 3
+        assert isinstance(net[0], nn.Linear)
+        assert len(list(net)) == 3
+
+    def test_identity(self, rng):
+        from repro.tensor import Tensor
+
+        x = Tensor(rng.standard_normal((2, 2)))
+        assert np.allclose(nn.Identity()(x).data, x.data)

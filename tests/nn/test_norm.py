@@ -1,0 +1,102 @@
+"""BatchNorm: normalization math, running stats, eval mode, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient
+
+
+class TestBatchNorm2d:
+    def test_training_output_normalized(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 3 + 2
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-9)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_affine_params_applied(self, rng):
+        bn = nn.BatchNorm2d(3)
+        bn.weight.data = np.array([2.0, 3.0, 4.0])
+        bn.bias.data = np.array([1.0, -1.0, 0.5])
+        x = rng.standard_normal((8, 3, 4, 4))
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), [1.0, -1.0, 0.5], atol=1e-9)
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.standard_normal((16, 2, 3, 3)) * 2 + 5
+        bn(Tensor(x))
+        assert np.allclose(bn.running_mean, 0.5 * x.mean(axis=(0, 2, 3)), atol=1e-9)
+        count = 16 * 9
+        unbiased = x.var(axis=(0, 2, 3)) * count / (count - 1)
+        assert np.allclose(bn.running_var, 0.5 * 1.0 + 0.5 * unbiased, atol=1e-9)
+        assert bn.num_batches_tracked == 1
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.set_buffer("running_mean", np.array([1.0, -1.0]))
+        bn.set_buffer("running_var", np.array([4.0, 9.0]))
+        bn.eval()
+        x = rng.standard_normal((4, 2, 2, 2))
+        out = bn(Tensor(x)).data
+        ref = (x - np.array([1.0, -1.0])[None, :, None, None]) / np.sqrt(
+            np.array([4.0, 9.0])[None, :, None, None] + bn.eps
+        )
+        assert np.allclose(out, ref)
+
+    def test_eval_does_not_update_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.standard_normal((4, 2, 2, 2)) + 7))
+        assert np.allclose(bn.running_mean, before)
+
+    def test_gradient_through_training_bn(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.standard_normal((4, 2, 3, 3))
+
+        def f(xx):
+            bn.set_buffer("running_mean", np.zeros(2))
+            bn.set_buffer("running_var", np.ones(2))
+            return (bn(xx) ** 3).sum()
+
+        check_gradient(f, [x], eps=1e-5)
+
+    def test_gradient_wrt_affine(self, rng):
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        bn = nn.BatchNorm2d(2)
+        loss = (bn(x) ** 2).sum()
+        loss.backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_rejects_wrong_ndim(self, rng):
+        bn = nn.BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.standard_normal((4, 2))))
+
+
+class TestBatchNorm1d:
+    def test_2d_input(self, rng):
+        bn = nn.BatchNorm1d(5)
+        x = rng.standard_normal((16, 5)) * 2 + 1
+        out = bn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-9)
+
+    def test_3d_input(self, rng):
+        bn = nn.BatchNorm1d(5)
+        x = rng.standard_normal((8, 5, 7))
+        out = bn(Tensor(x)).data
+        assert out.shape == x.shape
+        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-9)
+
+    def test_rejects_4d(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(rng.standard_normal((2, 3, 4, 4))))
+
+    def test_no_affine(self, rng):
+        bn = nn.BatchNorm1d(4, affine=False)
+        assert len(list(bn.parameters())) == 0
+        out = bn(Tensor(rng.standard_normal((8, 4))))
+        assert out.shape == (8, 4)

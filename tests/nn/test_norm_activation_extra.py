@@ -1,0 +1,140 @@
+"""LayerNorm/GroupNorm and the smooth activations (GELU/SiLU/Softplus/ELU)."""
+
+import numpy as np
+import pytest
+from scipy.special import erf
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient, check_hvp
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = nn.LayerNorm(8)
+        x = rng.standard_normal((4, 8)) * 3 + 1
+        out = ln(Tensor(x)).data
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-3)
+
+    def test_multi_dim_normalized_shape(self, rng):
+        ln = nn.LayerNorm((3, 4))
+        x = rng.standard_normal((5, 3, 4))
+        out = ln(Tensor(x)).data
+        assert np.allclose(out.reshape(5, -1).mean(axis=1), 0, atol=1e-9)
+
+    def test_affine(self, rng):
+        ln = nn.LayerNorm(4)
+        ln.weight.data = np.array([2.0, 2.0, 2.0, 2.0])
+        ln.bias.data = np.array([1.0, 1.0, 1.0, 1.0])
+        x = rng.standard_normal((3, 4))
+        out = ln(Tensor(x)).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(5)(Tensor(rng.standard_normal((2, 4))))
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(4)
+        x = rng.standard_normal((3, 4))
+        check_gradient(lambda xx: (ln(xx) ** 3).sum(), [x], eps=1e-5)
+
+    def test_second_order(self, rng):
+        ln = nn.LayerNorm(4, affine=False)
+        x = rng.standard_normal((2, 4))
+        check_hvp(
+            lambda xx: (ln(xx) ** 3).sum(), [x], rng.standard_normal((2, 4)),
+            eps=1e-4, atol=1e-3, rtol=1e-2,
+        )
+
+
+class TestGroupNorm:
+    def test_normalizes_within_groups(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = rng.standard_normal((3, 4, 5, 5)) * 2 + 3
+        out = gn(Tensor(x)).data
+        grouped = out.reshape(3, 2, 2, 5, 5)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0, atol=1e-9)
+
+    def test_group_of_one_is_instance_norm(self, rng):
+        gn = nn.GroupNorm(4, 4)
+        x = rng.standard_normal((2, 4, 3, 3))
+        out = gn(Tensor(x)).data
+        assert np.allclose(out.mean(axis=(2, 3)), 0, atol=1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+        gn = nn.GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(rng.standard_normal((2, 4))))
+        with pytest.raises(ValueError):
+            gn(Tensor(rng.standard_normal((2, 6, 3, 3))))
+
+    def test_gradcheck(self, rng):
+        gn = nn.GroupNorm(2, 4)
+        x = rng.standard_normal((2, 4, 3, 3))
+        check_gradient(lambda xx: (gn(xx) ** 3).sum(), [x], eps=1e-5)
+
+    def test_batch_independent(self, rng):
+        """Unlike BatchNorm, each sample's output is independent."""
+        gn = nn.GroupNorm(2, 4)
+        x = rng.standard_normal((4, 4, 3, 3))
+        full = gn(Tensor(x)).data
+        single = gn(Tensor(x[:1])).data
+        assert np.allclose(full[:1], single, atol=1e-12)
+
+
+class TestSmoothActivations:
+    def test_gelu_matches_exact_gaussian_form(self, rng):
+        x = rng.standard_normal((50,)) * 2
+        out = nn.GELU()(Tensor(x)).data
+        exact = x * 0.5 * (1 + erf(x / np.sqrt(2)))
+        assert np.allclose(out, exact, atol=5e-3)  # tanh approximation
+
+    def test_silu(self, rng):
+        x = rng.standard_normal(20)
+        out = nn.SiLU()(Tensor(x)).data
+        assert np.allclose(out, x / (1 + np.exp(-x)))
+
+    def test_softplus_value_and_stability(self):
+        x = np.array([-500.0, -1.0, 0.0, 1.0, 500.0])
+        out = nn.Softplus()(Tensor(x)).data
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out[1:4], np.log1p(np.exp(x[1:4])))
+        assert np.isclose(out[-1], 500.0)
+        assert np.isclose(out[0], 0.0, atol=1e-12)
+
+    def test_softplus_beta(self, rng):
+        x = rng.standard_normal(10)
+        out = nn.Softplus(beta=2.0)(Tensor(x)).data
+        assert np.allclose(out, np.log1p(np.exp(2 * x)) / 2, atol=1e-12)
+
+    def test_softplus_validation(self):
+        with pytest.raises(ValueError):
+            nn.Softplus(beta=0.0)
+
+    def test_elu(self, rng):
+        x = rng.standard_normal(30) * 2
+        out = nn.ELU(alpha=1.5)(Tensor(x)).data
+        expected = np.where(x > 0, x, 1.5 * (np.exp(x) - 1))
+        assert np.allclose(out, expected)
+
+    @pytest.mark.parametrize("module", [nn.GELU(), nn.SiLU(), nn.Softplus()])
+    def test_gradcheck(self, rng, module):
+        x = rng.standard_normal((4, 4))
+        check_gradient(lambda xx: (module(xx) ** 2).sum(), [x], eps=1e-5)
+
+    @pytest.mark.parametrize("module", [nn.GELU(), nn.SiLU()])
+    def test_second_order(self, rng, module):
+        """Smooth activations have dense, checkable Hessians."""
+        x = rng.standard_normal((3, 3))
+        check_hvp(
+            lambda xx: (module(xx) ** 2).sum(), [x], rng.standard_normal((3, 3)),
+            eps=1e-4, atol=1e-3, rtol=1e-2,
+        )
+
+    def test_elu_gradcheck_away_from_zero(self, rng):
+        x = rng.standard_normal(12)
+        x[np.abs(x) < 0.05] = 0.3
+        check_gradient(lambda xx: (nn.ELU()(xx) ** 2).sum(), [x], eps=1e-6)

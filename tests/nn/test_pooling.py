@@ -1,0 +1,54 @@
+"""Pooling layers."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, check_gradient
+
+
+class TestMaxPool:
+    def test_value(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = nn.max_pool2d(Tensor(x), 2).data
+        ref = x.reshape(2, 3, 2, 2, 2, 2).max(axis=(3, 5))
+        assert np.allclose(out, ref)
+
+    def test_stride_not_equal_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        out = nn.max_pool2d(Tensor(x), 3, stride=1).data
+        assert out.shape == (1, 1, 3, 3)
+        assert np.isclose(out[0, 0, 0, 0], x[0, 0, :3, :3].max())
+
+    def test_padding_uses_neg_inf(self, rng):
+        x = -np.abs(rng.standard_normal((1, 1, 2, 2))) - 1.0
+        out = nn.max_pool2d(Tensor(x), 2, stride=2, padding=1).data
+        # padded corners contain only one real value; -inf must not win
+        assert np.isclose(out[0, 0, 0, 0], x[0, 0, 0, 0])
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        check_gradient(lambda xx: (nn.max_pool2d(xx, 2) ** 2).sum(), [x], eps=1e-5)
+
+
+class TestAvgPool:
+    def test_value(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = nn.avg_pool2d(Tensor(x), 2).data
+        ref = x.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5))
+        assert np.allclose(out, ref)
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        check_gradient(lambda xx: (nn.avg_pool2d(xx, 2) ** 2).sum(), [x], eps=1e-5)
+
+
+class TestGlobalAvgPool:
+    def test_value_and_shape(self, rng):
+        x = rng.standard_normal((2, 5, 3, 4))
+        out = nn.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 5)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_module_form(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 3, 3)))
+        assert np.allclose(nn.GlobalAvgPool2d()(x).data, x.data.mean(axis=(2, 3)))

@@ -1,0 +1,57 @@
+"""Model summary utility."""
+
+import numpy as np
+
+from repro import nn
+from repro.models import create_model
+from repro.nn.summary import collect_summary, summary
+from repro.tensor import Tensor, no_grad
+
+
+class TestCollectSummary:
+    def test_rows_in_execution_order(self):
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=np.random.default_rng(0)),
+            nn.ReLU(),
+            nn.Linear(8, 2, rng=np.random.default_rng(0)),
+        )
+        rows = collect_summary(model, (4,))
+        assert [r["type"] for r in rows] == ["Linear", "ReLU", "Linear"]
+        assert rows[0]["output_shape"] == (2, 8)
+        assert rows[2]["output_shape"] == (2, 2)
+
+    def test_param_counts(self):
+        model = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(0)))
+        rows = collect_summary(model, (4,))
+        assert rows[0]["params"] == 4 * 8 + 8
+
+    def test_forward_restored_after_summary(self, rng):
+        model = nn.Sequential(nn.Linear(4, 2, rng=np.random.default_rng(0)))
+        collect_summary(model, (4,))
+        # a later forward must not keep appending rows
+        x = Tensor(rng.standard_normal((3, 4)))
+        with no_grad():
+            out = model(x)
+        assert out.shape == (3, 2)
+
+    def test_training_mode_restored(self):
+        model = nn.Sequential(nn.Linear(4, 2), nn.Dropout(0.5))
+        model.train()
+        collect_summary(model, (4,))
+        assert model.training
+
+    def test_works_on_conv_models(self):
+        model = create_model("mobilenetv2", num_classes=10, scale=0.5, seed=0)
+        rows = collect_summary(model, (3, 8, 8))
+        assert any(r["type"] == "Conv2d" for r in rows)
+        # final row is the classifier
+        assert rows[-1]["output_shape"] == (2, 10)
+
+
+class TestRendering:
+    def test_summary_mentions_total(self):
+        model = create_model("resnet8", num_classes=10, scale=0.5, seed=0)
+        text = summary(model, (3, 8, 8))
+        assert f"{model.num_parameters():,}" in text
+        assert "Conv2d" in text
+        assert "layer" in text

@@ -1,0 +1,84 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    ConstantLR,
+    CosineAnnealingLR,
+    StepLR,
+    WarmupCosineLR,
+)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == 0.1
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_halfway_value(self):
+        opt = make_optimizer(0.2)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        values = []
+        for _ in range(20):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_eta_min_floor(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.01)
+        for _ in range(8):  # beyond t_max
+            sched.step()
+        assert np.isclose(opt.lr, 0.01)
+
+    def test_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestOthers:
+    def test_constant(self):
+        opt = make_optimizer(0.3)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.3
+
+    def test_step_lr(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(round(opt.lr, 10))
+        assert lrs == [1.0, 0.1, 0.1, 0.01, 0.01, 0.001]
+
+    def test_warmup_cosine(self):
+        opt = make_optimizer(0.1)
+        sched = WarmupCosineLR(opt, t_max=10, warmup_epochs=3)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        # ramping during warmup
+        assert lrs[0] < lrs[1] <= 0.1 + 1e-12
+        # after warmup the cosine phase starts at base lr
+        assert np.isclose(lrs[2], 0.1)

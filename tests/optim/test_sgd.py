@@ -1,0 +1,112 @@
+"""SGD update math and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+
+def make_param(value):
+    return Parameter(np.array(value, dtype=np.float64))
+
+
+class TestUpdateRule:
+    def test_vanilla_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = Tensor(np.array([0.5, -0.5]))
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [0.95, 2.05])
+
+    def test_weight_decay_added_to_grad(self):
+        p = make_param([2.0])
+        p.grad = Tensor(np.array([0.0]))
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        # grad_eff = 0 + 0.5*2 = 1 -> p = 2 - 0.1
+        assert np.allclose(p.data, [1.9])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1, p=-1
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1.5, p=-2.5
+        assert np.allclose(p.data, [-2.5])
+
+    def test_nesterov(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5, nesterov=True)
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1; update = g + mu*v = 1.5
+        assert np.allclose(p.data, [-1.5])
+
+    def test_none_grad_skipped(self):
+        p = make_param([1.0])
+        p.grad = None
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = Tensor(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_matches_pytorch_convention_sequence(self):
+        # Hand-computed 3-step trace with momentum 0.9 and wd 0.1.
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9, weight_decay=0.1)
+        expected_p = 1.0
+        velocity = 0.0
+        for g in (0.3, -0.2, 0.1):
+            p.grad = Tensor(np.array([g]))
+            opt.step()
+            g_eff = g + 0.1 * expected_p
+            velocity = 0.9 * velocity + g_eff
+            expected_p = expected_p - 0.1 * velocity
+            assert np.isclose(p.data[0], expected_p)
+
+
+class TestValidation:
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=-0.1)
+
+    def test_bad_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=-0.5)
+
+    def test_nesterov_without_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, nesterov=True)
+
+
+class TestConvergence:
+    def test_quadratic_bowl(self):
+        # minimize ||p - target||^2
+        target = np.array([3.0, -2.0])
+        p = make_param([0.0, 0.0])
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            p.grad = Tensor(2 * (p.data - target))
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-4)
+
+    def test_state_dict_roundtrip(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([p], lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        assert opt2.momentum == 0.9
+        assert np.allclose(opt2._velocity[0], opt._velocity[0])

@@ -1,0 +1,105 @@
+"""Model-level post-training quantization."""
+
+import numpy as np
+
+from repro import nn
+from repro.models import create_model
+from repro.quant import (
+    QuantScheme,
+    evaluate_quantized,
+    precision_sweep,
+    quantize_model,
+    weight_perturbation_norms,
+)
+from repro.tensor import Tensor
+
+
+def small_model():
+    return create_model("vgg6_bn", num_classes=4, scale=0.5, seed=0)
+
+
+class TestQuantizeModel:
+    def test_original_untouched(self):
+        model = small_model()
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        quantize_model(model, QuantScheme(3))
+        for n, p in model.named_parameters():
+            assert np.allclose(p.data, before[n])
+
+    def test_in_place_mutates(self):
+        model = small_model()
+        before = model.state_dict()
+        q, _ = quantize_model(model, QuantScheme(2), in_place=True)
+        assert q is model
+        changed = any(
+            not np.allclose(model.state_dict()[k], before[k]) for k in before
+        )
+        assert changed
+
+    def test_only_conv_linear_weights_quantized(self):
+        model = small_model()
+        q, report = quantize_model(model, QuantScheme(2))
+        # BN parameters must be untouched
+        for (name, p_orig), (_n2, p_q) in zip(
+            model.named_parameters(), q.named_parameters()
+        ):
+            if "bn" in name or name.endswith("bias"):
+                assert np.allclose(p_orig.data, p_q.data), name
+
+    def test_report_covers_all_conv_linear(self):
+        model = small_model()
+        _q, report = quantize_model(model, QuantScheme(4))
+        conv_linear = [
+            n for n, m in model.named_modules() if isinstance(m, (nn.Conv2d, nn.Linear))
+        ]
+        assert len(report) == len(conv_linear)
+
+    def test_quantized_model_runs(self, rng):
+        model = small_model()
+        q, _ = quantize_model(model, QuantScheme(4))
+        q.eval()
+        out = q(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+        assert np.all(np.isfinite(out.data))
+
+    def test_weights_actually_on_grid(self):
+        model = small_model()
+        q, report = quantize_model(model, QuantScheme(3))
+        for name, module in q.named_modules():
+            if isinstance(module, (nn.Conv2d, nn.Linear)):
+                unique = np.unique(module.weight.data)
+                assert len(unique) <= 8
+
+
+class TestSweep:
+    def test_precision_sweep_structure(self, rng):
+        model = small_model()
+        x = rng.standard_normal((8, 3, 8, 8))
+        y = rng.integers(0, 4, 8)
+
+        def eval_fn(m):
+            m.eval()
+            from repro.tensor import no_grad
+
+            with no_grad():
+                logits = m(Tensor(x)).data
+            return float((logits.argmax(1) == y).mean())
+
+        sweep = precision_sweep(model, eval_fn, bits_list=(2, 4, 8))
+        assert sweep["bits"] == [2, 4, 8]
+        assert len(sweep["accuracy"]) == 3
+        assert all(0 <= a <= 1 for a in sweep["accuracy"])
+        assert sweep["max_error"][0] >= sweep["max_error"][2]  # 2-bit worse than 8-bit
+
+    def test_evaluate_quantized_eval_fn_called_on_copy(self):
+        model = small_model()
+        captured = []
+        evaluate_quantized(model, QuantScheme(2), lambda m: captured.append(m) or 0.0)
+        assert captured[0] is not model
+
+    def test_perturbation_norms(self):
+        model = small_model()
+        norms = weight_perturbation_norms(model, QuantScheme(4))
+        for name, entry in norms.items():
+            assert entry["linf"] <= float(np.max(entry["delta"])) / 2 + 1e-12
+            assert entry["l2"] >= entry["linf"]

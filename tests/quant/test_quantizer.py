@@ -1,0 +1,139 @@
+"""Linear uniform quantizer: the Theorem 2 error bound and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant import QuantScheme, quantize_array, quantization_error
+
+
+class TestScheme:
+    def test_levels(self):
+        assert QuantScheme(4).levels == 16
+        assert QuantScheme(8).levels == 256
+
+    def test_bits_range_validated(self):
+        with pytest.raises(ValueError):
+            QuantScheme(1)
+        with pytest.raises(ValueError):
+            QuantScheme(17)
+
+    def test_describe(self):
+        assert "4-bit" in QuantScheme(4).describe()
+        assert "asymmetric" in QuantScheme(4, symmetric=False).describe()
+        assert "per-channel" in QuantScheme(4, per_channel=True).describe()
+
+
+class TestSymmetric:
+    def test_error_bounded_by_half_delta(self, rng):
+        w = rng.standard_normal((16, 16))
+        for bits in (2, 4, 8):
+            w_q, info = quantize_array(w, QuantScheme(bits))
+            assert info["max_error"] <= float(np.max(info["delta"])) / 2 + 1e-12
+
+    def test_idempotent(self, rng):
+        w = rng.standard_normal((8, 8))
+        scheme = QuantScheme(5)
+        w_q, _ = quantize_array(w, scheme)
+        w_qq, _ = quantize_array(w_q, scheme)
+        assert np.allclose(w_q, w_qq)
+
+    def test_level_count_respected(self, rng):
+        w = rng.standard_normal(500)
+        w_q, _ = quantize_array(w, QuantScheme(3))
+        assert len(np.unique(w_q)) <= 8
+
+    def test_zero_exactly_representable(self, rng):
+        w = rng.standard_normal(100)
+        w[0] = 0.0
+        w_q, _ = quantize_array(w, QuantScheme(4))
+        assert w_q[0] == 0.0
+
+    def test_higher_bits_lower_error(self, rng):
+        w = rng.standard_normal((32, 32))
+        errors = [
+            np.abs(quantize_array(w, QuantScheme(b))[0] - w).mean() for b in (2, 4, 6, 8)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_all_zero_weights(self):
+        w = np.zeros((4, 4))
+        w_q, info = quantize_array(w, QuantScheme(4))
+        assert np.allclose(w_q, 0.0)
+        assert info["max_error"] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros((0,)), QuantScheme(4))
+
+
+class TestAsymmetric:
+    def test_error_bounded(self, rng):
+        w = rng.standard_normal((10, 10)) + 3.0  # skewed distribution
+        w_q, info = quantize_array(w, QuantScheme(4, symmetric=False))
+        assert info["max_error"] <= float(np.max(info["delta"])) / 2 + 1e-12
+
+    def test_range_endpoints_exact(self, rng):
+        w = rng.standard_normal(100)
+        w_q, _ = quantize_array(w, QuantScheme(4, symmetric=False))
+        assert np.isclose(w_q.min(), w.min())
+        assert np.isclose(w_q.max(), w.max())
+
+    def test_beats_symmetric_on_skewed_data(self, rng):
+        w = rng.random((20, 20)) + 5.0  # all-positive
+        sym_err = np.abs(quantize_array(w, QuantScheme(4))[0] - w).mean()
+        asym_err = np.abs(quantize_array(w, QuantScheme(4, symmetric=False))[0] - w).mean()
+        assert asym_err < sym_err
+
+
+class TestPerChannel:
+    def test_never_worse_than_per_tensor(self, rng):
+        # per-channel ranges are tighter for heterogeneous channels
+        w = rng.standard_normal((8, 4, 3, 3)) * np.logspace(
+            -1, 1, 8
+        ).reshape(8, 1, 1, 1)
+        pt_err = np.abs(quantize_array(w, QuantScheme(4))[0] - w).mean()
+        pc_err = np.abs(quantize_array(w, QuantScheme(4, per_channel=True))[0] - w).mean()
+        assert pc_err <= pt_err
+
+    def test_1d_falls_back_to_per_tensor(self, rng):
+        w = rng.standard_normal(32)
+        a, _ = quantize_array(w, QuantScheme(4, per_channel=True))
+        b, _ = quantize_array(w, QuantScheme(4, per_channel=False))
+        assert np.allclose(a, b)
+
+
+FINITE = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(min_value=1, max_value=64), elements=FINITE),
+    st.integers(min_value=2, max_value=8),
+    st.booleans(),
+)
+def test_property_error_bound(w, bits, symmetric):
+    """For any weights and precision: ||W_q - W||_inf <= Delta/2 (Thm 2)."""
+    scheme = QuantScheme(bits, symmetric=symmetric)
+    w_q, info = quantize_array(w, scheme)
+    assert info["max_error"] <= float(np.max(info["delta"])) / 2 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(min_value=1, max_value=64), elements=FINITE),
+    st.integers(min_value=2, max_value=8),
+)
+def test_property_idempotent(w, bits):
+    scheme = QuantScheme(bits)
+    w_q, _ = quantize_array(w, scheme)
+    w_qq, _ = quantize_array(w_q, scheme)
+    assert np.allclose(w_q, w_qq, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(min_value=1, max_value=32), elements=FINITE))
+def test_property_quantization_error_shape(w):
+    err = quantization_error(w, QuantScheme(4))
+    assert err.shape == w.shape

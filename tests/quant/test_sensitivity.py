@@ -1,0 +1,97 @@
+"""Per-layer sensitivity analysis and greedy mixed precision."""
+
+import numpy as np
+import pytest
+
+from repro.models import create_model
+from repro.quant import (
+    apply_mixed_precision,
+    average_bits,
+    greedy_mixed_precision,
+    layer_sensitivity,
+)
+from repro.quant.ptq import _target_modules
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    model = create_model("vgg6_bn", num_classes=4, scale=0.5, seed=0)
+    x = rng.standard_normal((24, 3, 8, 8))
+    y = rng.integers(0, 4, 24)
+
+    def eval_fn(m):
+        m.eval()
+        with no_grad():
+            logits = m(Tensor(x)).data
+        return float((logits.argmax(1) == y).mean())
+
+    return model, eval_fn
+
+
+class TestLayerSensitivity:
+    def test_covers_all_layers(self, setup):
+        model, eval_fn = setup
+        result = layer_sensitivity(model, eval_fn, bits=3)
+        layer_names = [n for n, _m in _target_modules(model)]
+        assert set(result) == set(layer_names) | {"__full__"}
+
+    def test_model_unmodified(self, setup):
+        model, eval_fn = setup
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        layer_sensitivity(model, eval_fn, bits=2)
+        for n, p in model.named_parameters():
+            assert np.allclose(p.data, before[n])
+
+    def test_values_are_accuracies(self, setup):
+        model, eval_fn = setup
+        result = layer_sensitivity(model, eval_fn, bits=4)
+        assert all(0.0 <= v <= 1.0 for v in result.values())
+
+
+class TestMixedPrecision:
+    def test_apply_partial_assignment(self, setup):
+        model, _eval_fn = setup
+        names = [n for n, _m in _target_modules(model)]
+        assignment = {names[0]: 2}
+        quantized, report = apply_mixed_precision(model, assignment)
+        assert set(report) == {names[0]}
+        q_modules = dict(_target_modules(quantized))
+        # quantized layer is on a small grid; others untouched
+        assert len(np.unique(q_modules[names[0]].weight.data)) <= 3
+        orig_modules = dict(_target_modules(model))
+        assert np.allclose(
+            q_modules[names[1]].weight.data, orig_modules[names[1]].weight.data
+        )
+
+    def test_unknown_layer_raises(self, setup):
+        model, _eval_fn = setup
+        with pytest.raises(KeyError):
+            apply_mixed_precision(model, {"nonexistent": 4})
+
+    def test_average_bits(self, setup):
+        model, _eval_fn = setup
+        names = [n for n, _m in _target_modules(model)]
+        uniform = {name: 4 for name in names}
+        assert np.isclose(average_bits(model, uniform), 4.0)
+        # default bits for unassigned layers
+        assert average_bits(model, {}) == 16.0
+
+    def test_greedy_respects_budget(self, setup):
+        model, eval_fn = setup
+        result = greedy_mixed_precision(
+            model, eval_fn, accuracy_budget=0.5, bit_choices=(8, 4)
+        )
+        assert result["accuracy"] >= result["reference"] - 0.5
+        assert set(result["assignment"].values()) <= {8, 4}
+        assert 4.0 <= result["average_bits"] <= 8.0
+
+    def test_greedy_zero_budget_stays_high_precision(self, setup):
+        model, eval_fn = setup
+        # budget 0 with a strict evaluator: most layers should stay at
+        # the top precision unless lowering costs nothing
+        result = greedy_mixed_precision(
+            model, eval_fn, accuracy_budget=0.0, bit_choices=(8, 2)
+        )
+        assert result["accuracy"] >= result["reference"]

@@ -1,0 +1,121 @@
+"""Graph-mechanics tests: accumulation, reuse, no_grad, create_graph."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, enable_grad, is_grad_enabled
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_seed(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * 3.0).backward()
+        assert np.isclose(x.grad.data, 3.0)
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+        (x * 2).backward(grad=np.ones(3))
+        assert np.allclose(x.grad.data, 2.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(1.5, requires_grad=True)
+        (x * 2).backward()
+        (x * 3).backward()
+        assert np.isclose(x.grad.data, 5.0)
+
+    def test_tensor_reused_in_graph(self):
+        # y = x*x + x -> dy/dx = 2x + 1
+        x = Tensor(3.0, requires_grad=True)
+        (x * x + x).backward()
+        assert np.isclose(x.grad.data, 7.0)
+
+    def test_diamond_graph(self):
+        # z = (x+1)*(x+2); dz/dx = 2x+3
+        x = Tensor(2.0, requires_grad=True)
+        a = x + 1.0
+        b = x + 2.0
+        (a * b).backward()
+        assert np.isclose(x.grad.data, 7.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert np.isclose(x.grad.data, 1.0)
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3).detach()
+        assert not y.requires_grad
+        z = y * 2
+        assert not z.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_nests_and_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestCreateGraph:
+    def test_grad_is_graph_tensor_with_create_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x ** 3).backward(create_graph=True)
+        grad = x.grad
+        assert grad._ctx is not None or grad.requires_grad
+        # second derivative: d(3x^2)/dx = 6x = 12
+        x.grad = None
+        grad.backward()
+        assert np.isclose(x.grad.data, 12.0)
+
+    def test_grad_detached_without_create_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x ** 3).backward()
+        assert x.grad._ctx is None
+        assert not x.grad.requires_grad
+
+    def test_third_derivative(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x ** 4).backward(create_graph=True)  # 4x^3
+        g1 = x.grad
+        x.grad = None
+        g1.backward(create_graph=True)  # 12x^2
+        g2 = x.grad
+        x.grad = None
+        g2.backward()  # 24x
+        assert np.isclose(x.grad.data, 48.0)

@@ -1,0 +1,110 @@
+"""Unit tests for arithmetic primitives: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradient
+
+
+class TestForwardValues:
+    def test_add(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_add_scalar(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert np.allclose((Tensor(a) + 2.5).data, a + 2.5)
+        assert np.allclose((2.5 + Tensor(a)).data, a + 2.5)
+
+    def test_add_broadcast(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4,))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_sub(self, rng):
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        assert np.allclose((Tensor(a) - Tensor(b)).data, a - b)
+        assert np.allclose((1.0 - Tensor(b)).data, 1.0 - b)
+
+    def test_mul(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    def test_div(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 3)) + 3.0
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+        assert np.allclose((1.0 / Tensor(b)).data, 1.0 / b)
+
+    def test_neg(self, rng):
+        a = rng.standard_normal(4)
+        assert np.allclose((-Tensor(a)).data, -a)
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal((2, 2))) + 0.5
+        assert np.allclose((Tensor(a) ** 3).data, a ** 3)
+        assert np.allclose(Tensor(a).pow(-0.5).data, a ** -0.5)
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a = rng.standard_normal((6, 3, 4))
+        b = rng.standard_normal((6, 4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_broadcast_batch(self, rng):
+        a = rng.standard_normal((6, 3, 4))
+        b = rng.standard_normal((4, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            Tensor(rng.standard_normal(3)) @ Tensor(rng.standard_normal((3, 2)))
+
+
+class TestGradients:
+    def test_add_broadcast_grads(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4,))
+        check_gradient(lambda x, y: ((x + y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: ((x + y) ** 2).sum(), [a, b], index=1)
+
+    def test_mul_broadcast_grads(self, rng):
+        a, b = rng.standard_normal((2, 3, 4)), rng.standard_normal((3, 1))
+        check_gradient(lambda x, y: ((x * y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: ((x * y) ** 2).sum(), [a, b], index=1)
+
+    def test_div_grads(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3)) + 3.0
+        check_gradient(lambda x, y: (x / y).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: (x / y).sum(), [a, b], index=1)
+
+    def test_pow_grads(self, rng):
+        a = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda x: (x ** 3).sum(), [a])
+        check_gradient(lambda x: (x ** 0.5).sum(), [a])
+        check_gradient(lambda x: (x ** -1.0).sum(), [a])
+
+    def test_matmul_grads(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 2))
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b], index=1)
+
+    def test_matmul_batched_grads(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 2))
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b], index=1)
+
+    def test_matmul_broadcast_grads(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((4, 2))
+        check_gradient(lambda x, y: ((x @ y) ** 2).sum(), [a, b], index=1)
+
+    def test_chained_expression(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        check_gradient(
+            lambda x, y: (((x @ y) * x - y) ** 2).sum() / 7.0, [a, b], index=0
+        )

@@ -1,0 +1,136 @@
+"""Edge-case behaviour of the engine: odd shapes, boundaries, dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradient, concat, where
+
+
+class TestScalarsAndEmptyish:
+    def test_zero_d_tensor_arithmetic(self):
+        a = Tensor(3.0)
+        assert (a * 2 + 1).item() == 7.0
+        assert a.shape == ()
+
+    def test_zero_d_backward(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        assert a.grad.data == 4.0
+
+    def test_single_element_reductions(self):
+        a = Tensor(np.array([[5.0]]), requires_grad=True)
+        a.mean().backward()
+        assert a.grad.data[0, 0] == 1.0
+
+    def test_size_one_axes_broadcast_both_ways(self, rng):
+        a = rng.standard_normal((1, 4))
+        b = rng.standard_normal((3, 1))
+        out = Tensor(a) + Tensor(b)
+        assert out.shape == (3, 4)
+        check_gradient(lambda x, y: ((x + y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: ((x + y) ** 2).sum(), [a, b], index=1)
+
+
+class TestBoundaryValues:
+    def test_clip_gradient_at_exact_boundary_included(self):
+        # values exactly at the clip boundary pass gradient (mask uses >=/<=)
+        a = Tensor(np.array([-1.0, 0.0, 1.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad.data, [1.0, 1.0, 1.0])
+
+    def test_pow_zero_base_positive_exponent(self):
+        a = Tensor(np.array([0.0, 2.0]), requires_grad=True)
+        (a ** 2).sum().backward()
+        assert np.allclose(a.grad.data, [0.0, 4.0])
+
+    def test_log_near_zero_is_large_but_finite(self):
+        a = Tensor(np.array([1e-300]))
+        assert np.isfinite(a.log().data[0])
+
+    def test_relu_at_exact_zero_has_zero_grad(self):
+        a = Tensor(np.array([0.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert a.grad.data[0] == 0.0  # (x > 0) convention
+
+    def test_abs_at_zero_has_zero_grad(self):
+        a = Tensor(np.array([0.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert a.grad.data[0] == 0.0  # sign(0) = 0 convention
+
+
+class TestShapeEdgeCases:
+    def test_concat_negative_axis(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 2))
+        out = concat([Tensor(a), Tensor(b)], axis=-1)
+        assert out.shape == (2, 5)
+        check_gradient(lambda x, y: (concat([x, y], axis=-1) ** 2).sum(), [a, b], index=1)
+
+    def test_transpose_high_dim(self, rng):
+        a = rng.standard_normal((2, 3, 4, 5, 6))
+        axes = (4, 2, 0, 3, 1)
+        out = Tensor(a).transpose(axes)
+        assert out.shape == tuple(a.shape[i] for i in axes)
+        check_gradient(lambda x: (x.transpose(axes) ** 2).sum(), [a])
+
+    def test_reshape_minus_one_various(self, rng):
+        a = Tensor(rng.standard_normal((4, 6)))
+        assert a.reshape(2, -1).shape == (2, 12)
+        assert a.reshape(-1, 3).shape == (8, 3)
+
+    def test_slice_with_step(self, rng):
+        a = rng.standard_normal((8, 8))
+        check_gradient(lambda x: (x[::3, 1::2] ** 2).sum(), [a])
+
+    def test_expand_adds_no_leading_dims(self, rng):
+        # expand_to requires matching ndim (numpy broadcast_to allows
+        # prepending; our grad path supports it via unbroadcast)
+        a = rng.standard_normal((3,))
+        out = Tensor(a).expand_to((2, 3))
+        assert out.shape == (2, 3)
+        check_gradient(lambda x: (x.expand_to((2, 3)) ** 2).sum(), [a])
+
+
+class TestWhereEdgeCases:
+    def test_all_true_and_all_false(self, rng):
+        a = rng.standard_normal(5)
+        b = rng.standard_normal(5)
+        assert np.allclose(where(np.ones(5, bool), Tensor(a), Tensor(b)).data, a)
+        assert np.allclose(where(np.zeros(5, bool), Tensor(a), Tensor(b)).data, b)
+
+    def test_where_blocks_gradient_to_unselected(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        assert np.allclose(a.grad.data, [1.0, 0.0])
+        assert np.allclose(b.grad.data, [0.0, 1.0])
+
+
+class TestDtypeHandling:
+    def test_int_input_promoted(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+
+    def test_bool_mask_multiplication(self, rng):
+        a = Tensor(rng.standard_normal(4), requires_grad=True)
+        mask = Tensor((a.data > 0).astype(np.float64))
+        (a * mask).sum().backward()
+        assert np.allclose(a.grad.data, mask.data)
+
+
+class TestGraphIsolation:
+    def test_backward_twice_on_same_graph(self):
+        # calling backward twice accumulates (no buffers are freed)
+        x = Tensor(2.0, requires_grad=True)
+        y = x ** 2
+        y.backward()
+        y.backward()
+        assert np.isclose(x.grad.data, 8.0)
+
+    def test_independent_graphs_do_not_interact(self):
+        x = Tensor(1.0, requires_grad=True)
+        y1 = x * 2
+        y2 = x * 3
+        y1.backward()
+        assert np.isclose(x.grad.data, 2.0)
+        y2.backward()
+        assert np.isclose(x.grad.data, 5.0)

@@ -1,0 +1,116 @@
+"""Unit tests for elementwise primitives."""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_gradient, where
+
+
+class TestForwardValues:
+    def test_exp_log(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert np.allclose(Tensor(a).exp().data, np.exp(a))
+        pos = np.abs(a) + 0.1
+        assert np.allclose(Tensor(pos).log().data, np.log(pos))
+
+    def test_tanh_sigmoid(self, rng):
+        a = rng.standard_normal((3, 3)) * 3
+        assert np.allclose(Tensor(a).tanh().data, np.tanh(a))
+        assert np.allclose(Tensor(a).sigmoid().data, 1 / (1 + np.exp(-a)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = np.array([-1000.0, 0.0, 1000.0])
+        out = Tensor(a).sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_relu(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert np.allclose(Tensor(a).relu().data, np.maximum(a, 0))
+
+    def test_abs(self, rng):
+        a = rng.standard_normal(6)
+        assert np.allclose(Tensor(a).abs().data, np.abs(a))
+
+    def test_clip(self, rng):
+        a = rng.standard_normal(10) * 3
+        assert np.allclose(Tensor(a).clip(-1, 2).data, np.clip(a, -1, 2))
+
+    def test_maximum_minimum(self, rng):
+        a, b = rng.standard_normal(8), rng.standard_normal(8)
+        assert np.allclose(Tensor(a).maximum(Tensor(b)).data, np.maximum(a, b))
+        assert np.allclose(Tensor(a).minimum(Tensor(b)).data, np.minimum(a, b))
+
+    def test_where(self, rng):
+        a, b = rng.standard_normal(8), rng.standard_normal(8)
+        cond = a > 0
+        assert np.allclose(where(cond, Tensor(a), Tensor(b)).data, np.where(cond, a, b))
+
+    def test_sqrt(self, rng):
+        a = np.abs(rng.standard_normal(5)) + 0.1
+        assert np.allclose(Tensor(a).sqrt().data, np.sqrt(a))
+
+    def test_norm(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert np.isclose(Tensor(a).norm().data, np.linalg.norm(a))
+
+
+class TestGradients:
+    def test_exp(self, rng):
+        a = rng.standard_normal((3, 3))
+        check_gradient(lambda x: x.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda x: x.log().sum(), [a])
+
+    def test_tanh(self, rng):
+        a = rng.standard_normal((3, 3))
+        check_gradient(lambda x: (x.tanh() ** 2).sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = rng.standard_normal((3, 3))
+        check_gradient(lambda x: (x.sigmoid() * 3).sum(), [a])
+
+    def test_relu_away_from_kink(self, rng):
+        a = rng.standard_normal((4, 4))
+        a[np.abs(a) < 0.05] = 0.1  # keep finite differences valid
+        check_gradient(lambda x: (x.relu() ** 2).sum(), [a])
+
+    def test_abs_away_from_kink(self, rng):
+        a = rng.standard_normal(8)
+        a[np.abs(a) < 0.05] = 0.2
+        check_gradient(lambda x: x.abs().sum(), [a])
+
+    def test_clip(self, rng):
+        a = rng.standard_normal(12) * 2
+        a[np.abs(np.abs(a) - 1.0) < 0.05] = 0.0  # avoid clip boundaries
+        check_gradient(lambda x: (x.clip(-1, 1) ** 2).sum(), [a])
+
+    def test_maximum(self, rng):
+        a, b = rng.standard_normal(10), rng.standard_normal(10)
+        near = np.abs(a - b) < 0.05
+        a[near] += 0.2  # avoid ties for finite differences
+        check_gradient(lambda x, y: (x.maximum(y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: (x.maximum(y) ** 2).sum(), [a, b], index=1)
+
+    def test_where(self, rng):
+        a, b = rng.standard_normal(8), rng.standard_normal(8)
+        cond = rng.random(8) > 0.5
+        check_gradient(lambda x, y: (where(cond, x, y) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: (where(cond, x, y) ** 2).sum(), [a, b], index=1)
+
+    def test_norm_eps_at_zero(self):
+        # norm(eps=...) must be differentiable at the origin.
+        a = np.zeros(4)
+        t = Tensor(a, requires_grad=True)
+        t.norm(eps=1e-12).backward()
+        assert np.all(np.isfinite(t.grad.data))
+
+
+class TestTieBreaking:
+    def test_maximum_splits_gradient_on_ties(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert np.allclose(a.grad.data, [0.5, 1.0])
+        assert np.allclose(b.grad.data, [0.5, 0.0])

@@ -1,0 +1,86 @@
+"""Unit tests for composite functions (softmax family, stats, stacking)."""
+
+import numpy as np
+from scipy.special import logsumexp as scipy_logsumexp, softmax as scipy_softmax
+
+from repro.tensor import (
+    Tensor,
+    check_gradient,
+    dot,
+    flatten_params,
+    log_softmax,
+    logsumexp,
+    softmax,
+    std,
+)
+
+
+class TestForwardValues:
+    def test_logsumexp_matches_scipy(self, rng):
+        a = rng.standard_normal((4, 6)) * 5
+        assert np.allclose(
+            logsumexp(Tensor(a), axis=1).data, scipy_logsumexp(a, axis=1)
+        )
+
+    def test_logsumexp_keepdims(self, rng):
+        a = rng.standard_normal((4, 6))
+        out = logsumexp(Tensor(a), axis=1, keepdims=True)
+        assert out.shape == (4, 1)
+
+    def test_logsumexp_extreme_values(self):
+        a = np.array([[1000.0, 1000.0], [-1000.0, -999.0]])
+        out = logsumexp(Tensor(a), axis=1).data
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, scipy_logsumexp(a, axis=1))
+
+    def test_softmax_matches_scipy(self, rng):
+        a = rng.standard_normal((5, 7)) * 3
+        assert np.allclose(softmax(Tensor(a), axis=1).data, scipy_softmax(a, axis=1))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = rng.standard_normal((5, 7))
+        assert np.allclose(softmax(Tensor(a), axis=1).data.sum(axis=1), 1.0)
+
+    def test_log_softmax_consistency(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert np.allclose(
+            log_softmax(Tensor(a), axis=1).data,
+            np.log(scipy_softmax(a, axis=1)),
+        )
+
+    def test_std(self, rng):
+        a = rng.standard_normal((4, 5))
+        assert np.allclose(std(Tensor(a), axis=0).data, a.std(axis=0))
+
+    def test_dot(self, rng):
+        a, b = rng.standard_normal((3, 3)), rng.standard_normal((3, 3))
+        assert np.isclose(dot(Tensor(a), Tensor(b)).data, np.sum(a * b))
+
+    def test_flatten_params(self, rng):
+        parts = [rng.standard_normal(s) for s in [(2, 3), (4,), (1, 2, 2)]]
+        flat = flatten_params([Tensor(p) for p in parts])
+        assert flat.shape == (14,)
+        assert np.allclose(flat.data, np.concatenate([p.reshape(-1) for p in parts]))
+
+
+class TestGradients:
+    def test_logsumexp(self, rng):
+        a = rng.standard_normal((3, 5))
+        check_gradient(lambda x: logsumexp(x, axis=1).sum(), [a])
+
+    def test_log_softmax(self, rng):
+        a = rng.standard_normal((3, 5))
+        check_gradient(lambda x: (log_softmax(x, axis=1) ** 2).sum(), [a])
+
+    def test_softmax(self, rng):
+        a = rng.standard_normal((3, 5))
+        check_gradient(lambda x: (softmax(x, axis=1) ** 2).sum(), [a])
+
+    def test_std(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_gradient(lambda x: std(x, axis=0, eps=1e-10).sum(), [a])
+
+    def test_flatten_params_grad(self, rng):
+        a, b = rng.standard_normal((2, 2)), rng.standard_normal(3)
+        check_gradient(lambda x, y: (flatten_params([x, y]) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: (flatten_params([x, y]) ** 2).sum(), [a, b], index=1)

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor, softmax, logsumexp
+
+FINITE = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=FINITE,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutative(a):
+    x = Tensor(a)
+    assert np.allclose((x + x * 2).data, (x * 2 + x).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad.data, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_linearity_of_backward(a):
+    # grad of (2f + 3f) equals 5 * grad f for f = sum(x^2)
+    x1 = Tensor(a, requires_grad=True)
+    ((x1 * x1).sum() * 5.0).backward()
+    x2 = Tensor(a, requires_grad=True)
+    f2 = (x2 * x2).sum()
+    (f2 * 2.0 + f2 * 3.0).backward()
+    assert np.allclose(x1.grad.data, x2.grad.data, atol=1e-10)
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_simplex(a):
+    if a.ndim == 1:
+        a = a[None, :]
+    s = softmax(Tensor(a), axis=1).data
+    assert np.all(s >= 0)
+    assert np.allclose(s.sum(axis=1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_logsumexp_bounds(a):
+    # max(x) <= logsumexp(x) <= max(x) + log(n)
+    if a.ndim == 1:
+        a = a[None, :]
+    lse = logsumexp(Tensor(a), axis=1).data
+    mx = a.max(axis=1)
+    assert np.all(lse >= mx - 1e-9)
+    assert np.all(lse <= mx + np.log(a.shape[1]) + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(a):
+    x = Tensor(a)
+    once = x.relu().data
+    twice = x.relu().relu().data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_roundtrip_preserves_grad(a):
+    x = Tensor(a, requires_grad=True)
+    (x.reshape(-1).reshape(a.shape) * 2.0).sum().backward()
+    assert np.allclose(x.grad.data, 2.0 * np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2), st.integers(min_value=0, max_value=1))
+def test_transpose_involution(a, flip):
+    if a.ndim == 1:
+        a = a[None, :]
+    x = Tensor(a, requires_grad=True)
+    y = x.transpose().transpose() if flip else x
+    (y * y).sum().backward()
+    assert np.allclose(x.grad.data, 2 * a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_norm_nonnegative_and_scales(a):
+    x = Tensor(a)
+    n1 = float(x.norm().data)
+    n2 = float((x * 2.0).norm().data)
+    assert n1 >= 0
+    assert np.isclose(n2, 2 * n1, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,66 @@
+"""Unit tests for reductions (sum/max/min/mean/var)."""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_gradient
+
+
+class TestForwardValues:
+    def test_sum_all(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        assert np.isclose(Tensor(a).sum().data, a.sum())
+
+    def test_sum_axis(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        for axis in (0, 1, 2, (0, 2), (1, 2)):
+            assert np.allclose(Tensor(a).sum(axis=axis).data, a.sum(axis=axis))
+
+    def test_sum_keepdims(self, rng):
+        a = rng.standard_normal((3, 4))
+        out = Tensor(a).sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        assert np.allclose(out.data, a.sum(axis=1, keepdims=True))
+
+    def test_sum_negative_axis(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert np.allclose(Tensor(a).sum(axis=-1).data, a.sum(axis=-1))
+
+    def test_max_min(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        assert np.allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+        assert np.allclose(Tensor(a).min(axis=2).data, a.min(axis=2))
+        assert np.isclose(Tensor(a).max().data, a.max())
+
+    def test_mean_var(self, rng):
+        a = rng.standard_normal((4, 6))
+        assert np.allclose(Tensor(a).mean(axis=0).data, a.mean(axis=0))
+        assert np.allclose(Tensor(a).var(axis=1).data, a.var(axis=1))
+        assert np.isclose(Tensor(a).mean().data, a.mean())
+
+
+class TestGradients:
+    def test_sum(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.sum(axis=0) ** 2).sum(), [a])
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+        check_gradient(lambda x: x.sum() ** 2, [a])
+
+    def test_max(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_gradient(lambda x: (x.max(axis=1) ** 2).sum(), [a])
+        check_gradient(lambda x: x.max() ** 2, [a])
+
+    def test_min(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_gradient(lambda x: (x.min(axis=0) ** 2).sum(), [a])
+
+    def test_mean_var(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_gradient(lambda x: (x.mean(axis=0) ** 2).sum(), [a])
+        check_gradient(lambda x: x.var(axis=1).sum(), [a])
+        check_gradient(lambda x: x.var(), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad.data, [[0.5, 0.5, 0.0]])

@@ -1,0 +1,104 @@
+"""Second-order correctness: exact HVPs vs finite differences.
+
+HERO's training rule differentiates through a gradient; these tests
+pin the double-backprop machinery on every op family it touches.
+"""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_hvp, analytic_hvp, log_softmax
+
+
+class TestAnalyticHessians:
+    def test_quadratic_form_hessian(self, rng):
+        # f(x) = 0.5 x^T A x  ->  H = (A + A^T)/2 * 2 = A + A^T symmetrized
+        n = 5
+        a_mat = rng.standard_normal((n, n))
+        sym = 0.5 * (a_mat + a_mat.T)
+        x0 = rng.standard_normal(n)
+        v = rng.standard_normal(n)
+
+        def f(x):
+            return 0.5 * (x * (Tensor(sym) @ x.reshape(n, 1)).reshape(n)).sum()
+
+        hv = analytic_hvp(f, [x0], v)
+        assert np.allclose(hv, sym @ v, atol=1e-8)
+
+    def test_quartic_diagonal_hessian(self, rng):
+        x0 = rng.standard_normal(6)
+        v = rng.standard_normal(6)
+        hv = analytic_hvp(lambda x: (x ** 4).sum(), [x0], v)
+        assert np.allclose(hv, 12 * x0 ** 2 * v, atol=1e-8)
+
+    def test_linear_function_zero_hessian(self, rng):
+        x0 = rng.standard_normal(4)
+        v = rng.standard_normal(4)
+        hv = analytic_hvp(lambda x: (x * 3.0).sum(), [x0], v)
+        assert np.allclose(hv, 0.0)
+
+
+class TestHVPvsFiniteDiff:
+    def test_matmul_chain(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        v = rng.standard_normal((3, 4))
+        check_hvp(lambda x: ((x @ b) ** 2).sum(), [a], v)
+
+    def test_tanh(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_hvp(lambda x: (x.tanh() ** 3).sum(), [a], rng.standard_normal((3, 4)))
+
+    def test_exp_log(self, rng):
+        a = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_hvp(lambda x: (x.log() * x.exp()).sum(), [a], rng.standard_normal((3, 3)))
+
+    def test_sigmoid(self, rng):
+        a = rng.standard_normal((4, 2))
+        check_hvp(lambda x: (x.sigmoid() ** 2).sum(), [a], rng.standard_normal((4, 2)))
+
+    def test_log_softmax_nll(self, rng):
+        a = rng.standard_normal((4, 5))
+        labels = np.array([0, 2, 4, 1])
+        idx = np.arange(4) * 5 + labels
+        check_hvp(
+            lambda x: (-log_softmax(x, axis=1).take_flat(idx)).sum() / 4,
+            [a],
+            rng.standard_normal((4, 5)),
+        )
+
+    def test_reductions(self, rng):
+        a = rng.standard_normal((4, 5))
+        check_hvp(lambda x: (x.var(axis=0) ** 2).sum(), [a], rng.standard_normal((4, 5)))
+
+    def test_through_slicing_and_concat(self, rng):
+        from repro.tensor import concat
+
+        a = rng.standard_normal((4, 4))
+        v = rng.standard_normal((4, 4))
+        check_hvp(
+            lambda x: (concat([x[:2] ** 2, x[2:] ** 3], axis=0)).sum(), [a], v
+        )
+
+    def test_through_take_flat(self, rng):
+        a = rng.standard_normal((3, 4))
+        idx = np.array([0, 5, 5, 11])
+        check_hvp(lambda x: (x.take_flat(idx) ** 3).sum(), [a], rng.standard_normal((3, 4)))
+
+    def test_relu_second_derivative_zero(self, rng):
+        # away from the kink, d2/dx2 relu(x)^1 = 0: HVP of sum(relu(x)) is 0
+        a = rng.standard_normal((3, 3))
+        a[np.abs(a) < 0.1] = 0.5
+        hv = analytic_hvp(lambda x: x.relu().sum(), [a], np.ones((3, 3)))
+        assert np.allclose(hv, 0.0)
+
+    def test_hessian_symmetry(self, rng):
+        # v1^T H v2 == v2^T H v1 for a nontrivial function
+        a = rng.standard_normal(6)
+        v1, v2 = rng.standard_normal(6), rng.standard_normal(6)
+
+        def f(x):
+            return ((x ** 3).sum() + (x[:3] * x[3:]).sum()) * 0.5
+
+        h_v1 = analytic_hvp(f, [a], v1)
+        h_v2 = analytic_hvp(f, [a], v2)
+        assert np.isclose(np.dot(v2, h_v1), np.dot(v1, h_v2), rtol=1e-8)

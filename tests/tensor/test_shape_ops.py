@@ -1,0 +1,94 @@
+"""Unit tests for shape ops: reshape/transpose/pad/slice/concat/gather."""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_gradient, concat, stack
+
+
+class TestForwardValues:
+    def test_reshape(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert Tensor(a).reshape(2, 6).shape == (2, 6)
+        assert Tensor(a).reshape(-1).shape == (12,)
+        assert Tensor(a).reshape((4, 3)).shape == (4, 3)
+
+    def test_flatten(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        assert Tensor(a).flatten(start_dim=1).shape == (2, 12)
+        assert Tensor(a).flatten().shape == (24,)
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        assert np.allclose(Tensor(a).transpose((2, 0, 1)).data, a.transpose(2, 0, 1))
+        assert np.allclose(Tensor(a).transpose().data, a.T)
+        assert np.allclose(Tensor(a).swapaxes(0, 2).data, a.swapaxes(0, 2))
+
+    def test_pad(self, rng):
+        a = rng.standard_normal((2, 3))
+        out = Tensor(a).pad(((1, 2), (0, 1)))
+        assert out.shape == (5, 4)
+        assert np.allclose(out.data, np.pad(a, ((1, 2), (0, 1))))
+
+    def test_pad_value(self, rng):
+        a = rng.standard_normal((2, 2))
+        out = Tensor(a).pad(((1, 1), (1, 1)), value=-np.inf)
+        assert out.data[0, 0] == -np.inf
+
+    def test_slice(self, rng):
+        a = rng.standard_normal((4, 5))
+        assert np.allclose(Tensor(a)[1:3, ::2].data, a[1:3, ::2])
+        assert np.allclose(Tensor(a)[0].data, a[0])
+
+    def test_concat_stack(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((4, 3))
+        out = concat([Tensor(a), Tensor(b)], axis=0)
+        assert np.allclose(out.data, np.concatenate([a, b], axis=0))
+        c = rng.standard_normal((2, 3))
+        out = stack([Tensor(a), Tensor(c)], axis=0)
+        assert np.allclose(out.data, np.stack([a, c], axis=0))
+
+    def test_expand(self, rng):
+        a = rng.standard_normal((1, 3))
+        assert np.allclose(
+            Tensor(a).expand_to((4, 3)).data, np.broadcast_to(a, (4, 3))
+        )
+
+    def test_take_flat(self, rng):
+        a = rng.standard_normal((3, 4))
+        idx = np.array([[0, 5], [11, 5]])
+        assert np.allclose(Tensor(a).take_flat(idx).data, a.reshape(-1)[idx])
+
+
+class TestGradients:
+    def test_reshape_transpose(self, rng):
+        a = rng.standard_normal((2, 3, 4))
+        check_gradient(lambda x: (x.reshape(6, 4).transpose() ** 2).sum(), [a])
+
+    def test_pad_slice(self, rng):
+        a = rng.standard_normal((3, 4))
+        check_gradient(lambda x: (x.pad(((1, 1), (2, 0))) ** 2).sum(), [a])
+        check_gradient(lambda x: (x[1:, ::2] ** 3).sum(), [a])
+
+    def test_concat(self, rng):
+        a, b = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        check_gradient(lambda x, y: (concat([x, y], axis=1) ** 2).sum(), [a, b], index=0)
+        check_gradient(lambda x, y: (concat([x, y], axis=1) ** 2).sum(), [a, b], index=1)
+
+    def test_expand(self, rng):
+        a = rng.standard_normal((1, 4))
+        check_gradient(lambda x: (x.expand_to((3, 4)) ** 2).sum(), [a])
+
+    def test_take_flat_duplicate_indices_accumulate(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        idx = np.array([1, 1, 3])
+        a.take_flat(idx).sum().backward()
+        assert np.allclose(a.grad.data, [0.0, 2.0, 0.0, 1.0])
+
+    def test_take_flat_grad(self, rng):
+        a = rng.standard_normal((3, 4))
+        idx = np.array([[0, 1, 2], [5, 5, 11]])
+        check_gradient(lambda x: (x.take_flat(idx) ** 2).sum(), [a])
+
+    def test_slice_integer_key(self, rng):
+        a = rng.standard_normal((4, 3))
+        check_gradient(lambda x: (x[2] ** 2).sum(), [a])

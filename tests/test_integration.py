@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic slice of the paper's pipeline at tiny
+scale: data generation -> model -> method trainer -> evaluation ->
+quantization / curvature analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Tensor, nn, optim
+from repro.core import make_trainer
+from repro.data import DataLoader, make_dataset
+from repro.experiments.runner import evaluate_accuracy
+from repro.hessian import hz_norm
+from repro.models import create_model
+from repro.quant import QuantScheme, evaluate_quantized
+
+
+def train_quick(method, model_name="resnet8", epochs=4, scale=0.5, seed=0, **kwargs):
+    train, test, spec = make_dataset("cifar10_like", train_size=128, test_size=64)
+    model = create_model(model_name, num_classes=spec.num_classes, scale=scale, seed=seed)
+    loss_fn = nn.CrossEntropyLoss()
+    opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-4)
+    sched = optim.CosineAnnealingLR(opt, t_max=epochs)
+    trainer = make_trainer(method, model, loss_fn, opt, scheduler=sched, **kwargs)
+    loader = DataLoader(train, batch_size=64, seed=seed)
+    history = trainer.fit(loader, epochs=epochs)
+    return model, history, train, test
+
+
+class TestTrainingPipelines:
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [
+            ("sgd", {}),
+            ("hero", {"h": 0.01, "gamma": 0.05}),
+            ("grad_l1", {"lambda_l1": 0.002}),
+            ("first_order", {"h": 0.01}),
+        ],
+    )
+    def test_method_learns_on_synthetic_images(self, method, kwargs):
+        model, history, train, test = train_quick(method, **kwargs)
+        assert history["train_loss"][-1] < history["train_loss"][0]
+        # clearly above the 10% chance level even at 4 epochs
+        assert evaluate_accuracy(model, train) > 0.2
+
+    def test_mobilenet_hero_pipeline(self):
+        model, history, _train, test = train_quick(
+            "hero", model_name="mobilenetv2", epochs=3, h=0.01, gamma=0.05
+        )
+        assert np.isfinite(history["train_loss"][-1])
+        acc = evaluate_accuracy(model, test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_vgg_gradl1_pipeline(self):
+        model, history, _train, _test = train_quick(
+            "grad_l1", model_name="vgg6_bn", epochs=3, lambda_l1=0.002
+        )
+        assert history["train_loss"][-1] < history["train_loss"][0]
+
+
+class TestTrainThenQuantize:
+    def test_ptq_after_training(self):
+        model, _history, _train, test = train_quick("sgd", epochs=5)
+        eval_fn = lambda m: evaluate_accuracy(m, test)
+        full = eval_fn(model)
+        q8, _ = evaluate_quantized(model, QuantScheme(8), eval_fn)
+        q2, _ = evaluate_quantized(model, QuantScheme(2), eval_fn)
+        # 8-bit should be near-lossless; 2-bit may collapse
+        assert abs(q8 - full) < 0.15
+        assert 0.0 <= q2 <= 1.0
+
+    def test_quantization_preserves_original_accuracy(self):
+        model, _h, _train, test = train_quick("sgd", epochs=3)
+        eval_fn = lambda m: evaluate_accuracy(m, test)
+        before = eval_fn(model)
+        evaluate_quantized(model, QuantScheme(2), eval_fn)
+        assert eval_fn(model) == before
+
+
+class TestTrainThenAnalyze:
+    def test_hessian_norm_after_training(self):
+        model, _h, train, _test = train_quick("sgd", epochs=3)
+        loader = DataLoader(train, batch_size=64, shuffle=False)
+        value = hz_norm(model, nn.CrossEntropyLoss(), loader, h=0.01, max_batches=1)
+        assert value >= 0 and np.isfinite(value)
+
+    def test_landscape_after_training(self):
+        from repro.landscape import flat_area_fraction, loss_surface, make_plot_directions
+
+        model, _h, train, _test = train_quick("sgd", epochs=3)
+        loader = DataLoader(train, batch_size=64, shuffle=False)
+        batches = [next(iter(loader))]
+        d1, d2 = make_plot_directions(list(model.parameters()), seed=0)
+        surface = loss_surface(
+            model, nn.CrossEntropyLoss(), batches, d1, d2, radius=0.3, steps=(3, 3)
+        )
+        assert np.all(np.isfinite(surface["loss"]))
+        assert 0 <= flat_area_fraction(surface) <= 1
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_models(self):
+        m1, _h1, _t1, _e1 = train_quick("sgd", seed=0, epochs=2)
+        m2, _h2, _t2, _e2 = train_quick("sgd", seed=1, epochs=2)
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        assert any(not np.allclose(s1[k], s2[k]) for k in s1)
+
+    def test_same_seed_identical(self):
+        m1, h1, _t1, _e1 = train_quick("hero", seed=3, epochs=2, h=0.01, gamma=0.05)
+        m2, h2, _t2, _e2 = train_quick("hero", seed=3, epochs=2, h=0.01, gamma=0.05)
+        assert h1["train_loss"] == h2["train_loss"]
+        s1, s2 = m1.state_dict(), m2.state_dict()
+        for key in s1:
+            assert np.allclose(s1[key], s2[key])

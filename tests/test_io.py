@@ -1,0 +1,77 @@
+"""Checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import History
+from repro.io import load_checkpoint, save_checkpoint
+from repro.models import create_model
+from repro.optim import SGD
+from repro.tensor import Tensor, no_grad
+
+
+def fresh_model(seed):
+    return create_model("vgg6_bn", num_classes=3, scale=0.5, seed=seed)
+
+
+class TestCheckpoint:
+    def test_roundtrip_weights(self, tmp_path, rng):
+        model = fresh_model(0)
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, model)
+        other = fresh_model(1)
+        load_checkpoint(path, other)
+        x = rng.standard_normal((2, 3, 8, 8))
+        model.eval()
+        other.eval()
+        with no_grad():
+            assert np.allclose(model(Tensor(x)).data, other(Tensor(x)).data)
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        model = fresh_model(0)
+        model.train()
+        with no_grad():
+            model(Tensor(rng.standard_normal((4, 3, 8, 8))))
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model)
+        other = fresh_model(1)
+        load_checkpoint(path, other)
+        for (n1, b1), (_n2, b2) in zip(model.named_buffers(), other.named_buffers()):
+            assert np.allclose(b1, b2), n1
+
+    def test_metadata_and_history(self, tmp_path):
+        model = fresh_model(0)
+        history = History()
+        history.log(train_loss=1.0, test_acc=0.5)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, metadata={"method": "hero", "gamma": 0.05},
+                        optimizer=opt, history=history)
+        sidecar = load_checkpoint(path, fresh_model(1))
+        assert sidecar["metadata"]["method"] == "hero"
+        assert sidecar["optimizer"]["lr"] == 0.1
+        assert sidecar["history"]["test_acc"] == [0.5]
+
+    def test_load_without_sidecar(self, tmp_path):
+        model = fresh_model(0)
+        path = str(tmp_path / "bare.npz")
+        save_checkpoint(path, model)
+        import os
+
+        os.remove(path + ".json")
+        sidecar = load_checkpoint(path, fresh_model(1))
+        assert sidecar == {"metadata": {}}
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        model = fresh_model(0)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model)
+        wrong = create_model("vgg6_bn", num_classes=7, scale=0.5, seed=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, wrong)
+
+    def test_extension_optional(self, tmp_path):
+        model = fresh_model(0)
+        path = str(tmp_path / "m.npz")
+        save_checkpoint(path, model)
+        load_checkpoint(str(tmp_path / "m"), fresh_model(1))

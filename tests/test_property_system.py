@@ -1,0 +1,107 @@
+"""System-level property tests (hypothesis) on core data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.data import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.optim import SGD, CosineAnnealingLR
+from repro.quant import QuantScheme, quantize_array
+from repro.tensor import Tensor
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    batch_size=st.integers(min_value=1, max_value=16),
+    drop_last=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_loader_covers_dataset_exactly(n, batch_size, drop_last, seed):
+    ds = ArrayDataset(np.arange(n, dtype=float)[:, None], np.arange(n))
+    loader = DataLoader(ds, batch_size=batch_size, shuffle=True, drop_last=drop_last, seed=seed)
+    seen = [y for _x, ys in loader for y in ys]
+    if drop_last:
+        assert len(seen) == (n // batch_size) * batch_size
+        assert len(set(seen)) == len(seen)
+    else:
+        assert sorted(seen) == list(range(n))
+    assert len(loader) == (n // batch_size if drop_last else -(-n // batch_size))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hidden=st.integers(min_value=1, max_value=16),
+    num_classes=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_state_dict_roundtrip_preserves_forward(hidden, num_classes, seed):
+    m1 = MLP(3, hidden=(hidden,), num_classes=num_classes, rng=np.random.default_rng(seed))
+    m2 = MLP(3, hidden=(hidden,), num_classes=num_classes, rng=np.random.default_rng(seed + 1))
+    m2.load_state_dict(m1.state_dict())
+    x = Tensor(np.random.default_rng(0).standard_normal((4, 3)))
+    assert np.allclose(m1(x).data, m2(x).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lr=st.floats(min_value=1e-4, max_value=1.0),
+    t_max=st.integers(min_value=1, max_value=50),
+)
+def test_cosine_schedule_bounded_and_terminal(lr, t_max):
+    from repro.nn.module import Parameter
+
+    opt = SGD([Parameter(np.zeros(1))], lr=lr)
+    sched = CosineAnnealingLR(opt, t_max=t_max)
+    for _ in range(t_max + 3):
+        sched.step()
+        assert -1e-12 <= opt.lr <= lr + 1e-12
+    assert np.isclose(opt.lr, 0.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    scale=st.floats(min_value=0.01, max_value=100.0),
+    bits=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_quantizer_scale_equivariance(scale, bits, seed):
+    """Symmetric quantization commutes with positive scaling."""
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal(32)
+    scheme = QuantScheme(bits)
+    q1, _ = quantize_array(w * scale, scheme)
+    q2, _ = quantize_array(w, scheme)
+    assert np.allclose(q1, q2 * scale, atol=1e-9 * scale)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=8),
+    classes=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_cross_entropy_bounds(batch, classes, seed):
+    """CE >= 0 and its gradient rows sum to 0 (softmax - onehot)."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.standard_normal((batch, classes)) * 3, requires_grad=True)
+    y = rng.integers(0, classes, batch)
+    loss = nn.cross_entropy(logits, y)
+    assert loss.data >= -1e-12
+    loss.backward()
+    assert np.allclose(logits.grad.data.sum(axis=1), 0.0, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_sgd_invariant_zero_grad_is_noop_without_decay(seed):
+    from repro.nn.module import Parameter
+
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.standard_normal(5))
+    before = p.data.copy()
+    opt = SGD([p], lr=0.5, momentum=0.9)
+    p.grad = Tensor(np.zeros(5))
+    opt.step()
+    assert np.allclose(p.data, before)
