@@ -15,7 +15,15 @@ assertions) and ``format_*`` (text rendering):
 ===========  ===========================================================
 """
 
-from .config import TrainConfig, make_config, METHOD_HYPERS, PAPER_MODELS, PROFILES
+from .config import (
+    TrainConfig,
+    make_config,
+    make_grid,
+    expand_grid,
+    METHOD_HYPERS,
+    PAPER_MODELS,
+    PROFILES,
+)
 from .runner import (
     RunResult,
     run_training,
@@ -24,26 +32,38 @@ from .runner import (
     load_experiment_data,
     build_model,
     build_trainer,
+    default_cache_dir,
     DEFAULT_CACHE_DIR,
 )
+from .sweep import (
+    RunRecord,
+    SweepReport,
+    run_sweep,
+    warm_cache,
+    warm_for,
+    resolve_workers,
+    format_sweep,
+)
 from .reporting import format_table, format_series, save_json
-from .table1 import run_table1, check_table1, format_table1
-from .table2 import run_table2, check_table2, format_table2
-from .table3 import run_table3, check_table3, format_table3
+from .table1 import run_table1, check_table1, format_table1, table1_configs
+from .table2 import run_table2, check_table2, format_table2, table2_configs
+from .table3 import run_table3, check_table3, format_table3, table3_configs
 from .fig1 import (
     run_fig1,
     check_fig1,
     format_fig1,
+    fig1_configs,
     run_fig1_schemes,
     check_fig1_schemes,
     format_fig1_schemes,
 )
-from .fig2 import run_fig2, check_fig2, format_fig2
-from .fig3 import run_fig3, check_fig3, format_fig3
+from .fig2 import run_fig2, check_fig2, format_fig2, fig2_configs, fig2_callbacks
+from .fig3 import run_fig3, check_fig3, format_fig3, fig3_configs
 from .qat_motivation import (
     run_qat_motivation,
     check_qat_motivation,
     format_qat_motivation,
+    qat_motivation_configs,
 )
 from .replication import run_with_seeds, compare_methods_with_seeds
 from .summary_report import collect_results_markdown, write_results_markdown
@@ -54,11 +74,14 @@ from .ablations import (
     run_gamma_grid,
     run_regularizer_ablation,
     format_ablation,
+    ablation_configs,
 )
 
 __all__ = [
     "TrainConfig",
     "make_config",
+    "make_grid",
+    "expand_grid",
     "METHOD_HYPERS",
     "PAPER_MODELS",
     "PROFILES",
@@ -69,40 +92,57 @@ __all__ = [
     "load_experiment_data",
     "build_model",
     "build_trainer",
+    "default_cache_dir",
     "DEFAULT_CACHE_DIR",
+    "RunRecord",
+    "SweepReport",
+    "run_sweep",
+    "warm_cache",
+    "warm_for",
+    "resolve_workers",
+    "format_sweep",
     "format_table",
     "format_series",
     "save_json",
     "run_table1",
     "check_table1",
     "format_table1",
+    "table1_configs",
     "run_table2",
     "check_table2",
     "format_table2",
+    "table2_configs",
     "run_table3",
     "check_table3",
     "format_table3",
+    "table3_configs",
     "run_fig1",
     "check_fig1",
     "format_fig1",
+    "fig1_configs",
     "run_fig1_schemes",
     "check_fig1_schemes",
     "format_fig1_schemes",
     "run_fig2",
     "check_fig2",
     "format_fig2",
+    "fig2_configs",
+    "fig2_callbacks",
     "run_fig3",
     "check_fig3",
     "format_fig3",
+    "fig3_configs",
     "run_perturbation_ablation",
     "run_penalty_ablation",
     "run_h_sensitivity",
     "run_gamma_grid",
     "run_regularizer_ablation",
     "format_ablation",
+    "ablation_configs",
     "run_qat_motivation",
     "check_qat_motivation",
     "format_qat_motivation",
+    "qat_motivation_configs",
     "run_with_seeds",
     "compare_methods_with_seeds",
     "collect_results_markdown",

@@ -11,12 +11,32 @@ each gets an experiment here:
 """
 
 from ..quant import QuantScheme, evaluate_quantized
-from .config import make_config
+from .config import expand_grid, make_config
 from .reporting import format_table
 from .runner import accuracy_eval_fn, load_experiment_data, run_training
+from .sweep import warm_for
 
 DEFAULT_MODEL = "ResNet20-fast"
 DEFAULT_DATASET = "cifar10_like"
+
+H_FACTORS = (0.5, 1.0, 2.0)
+GAMMAS = (0.01, 0.05, 0.2)
+
+
+def ablation_configs(profile="fast", seed=0, factors=H_FACTORS, gammas=GAMMAS):
+    """Every cacheable ablation variant as one combined sweep spec.
+
+    Covers the perturbation, penalty, h-sensitivity and gamma-grid
+    studies (the regularizer ablation trains outside the cache); the
+    sweep engine deduplicates the shared baseline config.
+    """
+    base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
+    return (
+        expand_grid(base, perturbation=["layer_adaptive", "global"])
+        + expand_grid(base, penalty=["norm", "sq_norm"])
+        + expand_grid(base, h=[base.h * factor for factor in factors])
+        + expand_grid(base, gamma=list(gammas))
+    )
 
 
 def _run_variant(config, cache_dir, runner_kwargs, low_bits=4):
@@ -34,39 +54,46 @@ def _run_variant(config, cache_dir, runner_kwargs, low_bits=4):
     }
 
 
-def run_perturbation_ablation(profile="fast", cache_dir=None, seed=0, **runner_kwargs):
+def _warm(configs, workers, cache_dir, runner_kwargs):
+    """Parallel warm pass for one ablation's grid (no-op when serial)."""
+    warm_for(configs, runner_kwargs, workers=workers, cache_dir=cache_dir)
+
+
+def run_perturbation_ablation(profile="fast", cache_dir=None, seed=0, workers=None, **runner_kwargs):
     """Eq. 15 layer-adaptive scaling vs one global scale."""
-    rows = []
-    for perturbation in ("layer_adaptive", "global"):
-        config = make_config(
-            DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed,
-            perturbation=perturbation,
-        )
-        rows.append({"variant": perturbation, **_run_variant(config, cache_dir, runner_kwargs)})
+    base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
+    configs = expand_grid(base, perturbation=["layer_adaptive", "global"])
+    _warm(configs, workers, cache_dir, runner_kwargs)
+    rows = [
+        {"variant": config.perturbation, **_run_variant(config, cache_dir, runner_kwargs)}
+        for config in configs
+    ]
     return {"name": "perturbation", "rows": rows}
 
 
-def run_penalty_ablation(profile="fast", cache_dir=None, seed=0, **runner_kwargs):
+def run_penalty_ablation(profile="fast", cache_dir=None, seed=0, workers=None, **runner_kwargs):
     """Algorithm-1 norm penalty vs Eq. 13 squared-norm penalty."""
-    rows = []
-    for penalty in ("norm", "sq_norm"):
-        config = make_config(
-            DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed,
-            penalty=penalty,
-        )
-        rows.append({"variant": penalty, **_run_variant(config, cache_dir, runner_kwargs)})
+    base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
+    configs = expand_grid(base, penalty=["norm", "sq_norm"])
+    _warm(configs, workers, cache_dir, runner_kwargs)
+    rows = [
+        {"variant": config.penalty, **_run_variant(config, cache_dir, runner_kwargs)}
+        for config in configs
+    ]
     return {"name": "penalty", "rows": rows}
 
 
-def run_h_sensitivity(profile="fast", cache_dir=None, seed=0, factors=(0.5, 1.0, 2.0), **runner_kwargs):
+def run_h_sensitivity(
+    profile="fast", cache_dir=None, seed=0, factors=H_FACTORS, workers=None, **runner_kwargs
+):
     """Probe-step sensitivity around the tuned ``h``."""
     base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
-    rows = []
-    for factor in factors:
-        config = base.with_overrides(h=base.h * factor)
-        rows.append(
-            {"variant": f"h={config.h:g}", **_run_variant(config, cache_dir, runner_kwargs)}
-        )
+    configs = expand_grid(base, h=[base.h * factor for factor in factors])
+    _warm(configs, workers, cache_dir, runner_kwargs)
+    rows = [
+        {"variant": f"h={config.h:g}", **_run_variant(config, cache_dir, runner_kwargs)}
+        for config in configs
+    ]
     return {"name": "h_sensitivity", "rows": rows}
 
 
@@ -103,15 +130,17 @@ def run_regularizer_ablation(profile="fast", cache_dir=None, seed=0, **runner_kw
     return {"name": "regularizer", "rows": rows}
 
 
-def run_gamma_grid(profile="fast", cache_dir=None, seed=0, gammas=(0.01, 0.05, 0.2), **runner_kwargs):
+def run_gamma_grid(
+    profile="fast", cache_dir=None, seed=0, gammas=GAMMAS, workers=None, **runner_kwargs
+):
     """The paper's gamma grid search (scaled to this substrate)."""
     base = make_config(DEFAULT_MODEL, DEFAULT_DATASET, "hero", profile=profile, seed=seed)
-    rows = []
-    for gamma in gammas:
-        config = base.with_overrides(gamma=gamma)
-        rows.append(
-            {"variant": f"gamma={gamma:g}", **_run_variant(config, cache_dir, runner_kwargs)}
-        )
+    configs = expand_grid(base, gamma=list(gammas))
+    _warm(configs, workers, cache_dir, runner_kwargs)
+    rows = [
+        {"variant": f"gamma={config.gamma:g}", **_run_variant(config, cache_dir, runner_kwargs)}
+        for config in configs
+    ]
     return {"name": "gamma_grid", "rows": rows}
 
 

@@ -2,15 +2,22 @@
 
 Usage::
 
-    python -m repro.experiments table1 --profile fast
+    python -m repro.experiments table1 --profile fast --workers 4
     python -m repro.experiments fig1 --profile smoke --json out/fig1.json
-    python -m repro.experiments all --profile fast --output-dir results/
+    python -m repro.experiments all --profile fast
+    python -m repro.experiments sweep --profile smoke --workers 4
+    python -m repro.experiments sweep --spec grid.json --json report.json
 
 Each artifact prints its rendered table/figure and the paper-shape
-check result; ``--json`` additionally dumps the raw numbers.
+check result; ``--json`` additionally dumps the raw numbers.  The
+``sweep`` verb executes an experiment grid directly through the
+parallel sweep engine and reports per-run status, wall-clock and cache
+hits.
 """
 
 import argparse
+import json
+import os
 import sys
 
 from . import (
@@ -43,9 +50,15 @@ from . import (
     run_table3,
     save_json,
 )
+from .ablations import ablation_configs
+from .config import TrainConfig, make_grid
+from .sweep import WORKERS_ENV, format_sweep, resolve_workers, run_sweep, warm_cache
 
 
-def _ablations(profile, cache_dir, **kwargs):
+def _ablations(profile, cache_dir=None, workers=None, **kwargs):
+    # One combined warm pass so parallelism spans all four cached
+    # ablation grids at once (the regularizer study trains inline).
+    warm_cache(ablation_configs(profile=profile), workers=workers, cache_dir=cache_dir)
     results = [
         run_perturbation_ablation(profile=profile, cache_dir=cache_dir),
         run_penalty_ablation(profile=profile, cache_dir=cache_dir),
@@ -71,6 +84,12 @@ ARTIFACTS = {
     "qat": (run_qat_motivation, format_qat_motivation, check_qat_motivation),
 }
 
+#: Default grid for the bare ``sweep`` verb: the fast table-2 models
+#: crossed with the paper's three methods (6 runs).
+SWEEP_DEFAULT_MODELS = "ResNet20-fast,MobileNetV2-fast"
+SWEEP_DEFAULT_DATASETS = "cifar10_like"
+SWEEP_DEFAULT_METHODS = "hero,grad_l1,sgd"
+
 
 def build_parser():
     """Construct the argparse CLI."""
@@ -80,8 +99,8 @@ def build_parser():
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all"],
-        help="which paper artifact to regenerate",
+        choices=sorted(ARTIFACTS) + ["all", "sweep"],
+        help="which paper artifact to regenerate, or 'sweep' to run a grid directly",
     )
     parser.add_argument(
         "--profile",
@@ -97,14 +116,89 @@ def build_parser():
         action="store_true",
         help="retrain instead of reusing cached runs",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"worker processes (default: ${WORKERS_ENV} or serial; "
+        "the sweep verb defaults to a small pool)",
+    )
     parser.add_argument("--json", help="also dump raw results to this JSON path")
+    sweep_group = parser.add_argument_group("sweep grid (sweep verb only)")
+    sweep_group.add_argument(
+        "--models",
+        default=SWEEP_DEFAULT_MODELS,
+        help=f"comma-separated paper model names (default: {SWEEP_DEFAULT_MODELS})",
+    )
+    sweep_group.add_argument(
+        "--datasets",
+        default=SWEEP_DEFAULT_DATASETS,
+        help=f"comma-separated datasets (default: {SWEEP_DEFAULT_DATASETS})",
+    )
+    sweep_group.add_argument(
+        "--methods",
+        default=SWEEP_DEFAULT_METHODS,
+        help=f"comma-separated training methods (default: {SWEEP_DEFAULT_METHODS})",
+    )
+    sweep_group.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seeds (default: --seed)",
+    )
+    sweep_group.add_argument(
+        "--spec",
+        default=None,
+        help="JSON file with a list of TrainConfig dicts; overrides the grid flags",
+    )
     return parser
 
 
-def run_artifact(name, profile, seed=0, force=False, json_path=None, out=sys.stdout):
+def _csv(value):
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def sweep_configs_from_args(args):
+    """Build the sweep's config list from ``--spec`` or the grid flags."""
+    if args.spec:
+        with open(args.spec) as fh:
+            payload = json.load(fh)
+        return [TrainConfig.from_dict(entry) for entry in payload]
+    seeds = [int(s) for s in _csv(args.seeds)] if args.seeds else [args.seed]
+    return make_grid(
+        _csv(args.models),
+        _csv(args.datasets),
+        _csv(args.methods),
+        seeds=seeds,
+        profile=args.profile,
+    )
+
+
+def run_sweep_command(args, out=sys.stdout):
+    """The ``sweep`` verb: execute a grid, print the report.
+
+    Returns the number of failed runs (shell-exit-code shaped).
+    """
+    configs = sweep_configs_from_args(args)
+    if args.workers is not None:
+        workers = args.workers
+    elif os.environ.get(WORKERS_ENV):
+        workers = resolve_workers(None)
+    else:
+        workers = min(4, max(2, os.cpu_count() or 2))
+    report = run_sweep(configs, workers=workers, force=args.no_cache)
+    print(format_sweep(report), file=out)
+    if args.json:
+        save_json(report.to_dict(), args.json)
+        print(f"\nraw report -> {args.json}", file=out)
+    return report.n_errors
+
+
+def run_artifact(
+    name, profile, seed=0, force=False, json_path=None, workers=None, out=sys.stdout
+):
     """Run one artifact; returns the number of paper-shape violations."""
     run_fn, format_fn, check_fn = ARTIFACTS[name]
-    kwargs = {"profile": profile}
+    kwargs = {"profile": profile, "workers": workers}
     if name != "ablations":
         kwargs["seed"] = seed
         kwargs["force"] = force
@@ -126,6 +220,8 @@ def run_artifact(name, profile, seed=0, force=False, json_path=None, out=sys.std
 def main(argv=None):
     """CLI entry point; returns a shell exit code."""
     args = build_parser().parse_args(argv)
+    if args.artifact == "sweep":
+        return 1 if run_sweep_command(args) else 0
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     total_violations = 0
     for name in names:
@@ -138,6 +234,7 @@ def main(argv=None):
             seed=args.seed,
             force=args.no_cache,
             json_path=json_path,
+            workers=args.workers,
         )
     return 0 if total_violations == 0 else 1
 

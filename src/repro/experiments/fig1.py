@@ -13,6 +13,7 @@ from ..quant import precision_sweep
 from .config import make_config
 from .reporting import format_series
 from .runner import accuracy_eval_fn, load_experiment_data, run_training
+from .sweep import warm_for
 
 METHODS = ("hero", "grad_l1", "sgd")
 PANELS = (
@@ -27,6 +28,19 @@ PANELS = (
 DEFAULT_BITS = (3, 4, 5, 6, 7, 8)
 
 
+def fig1_configs(profile="fast", seed=0, panels=PANELS):
+    """The seven-panel training grid as a sweep spec.
+
+    Identical to Table 1's configs for the shared panels, so a warm
+    cache from either artifact serves both.
+    """
+    return [
+        make_config(model, dataset, method, profile=profile, seed=seed)
+        for _panel_id, dataset, model in panels
+        for method in METHODS
+    ]
+
+
 def run_fig1(
     profile="fast",
     cache_dir=None,
@@ -35,9 +49,16 @@ def run_fig1(
     bits=DEFAULT_BITS,
     symmetric=True,
     per_channel=False,
+    workers=None,
     **runner_kwargs,
 ):
     """Sweep PTQ precision for every panel and method."""
+    warm_for(
+        fig1_configs(profile=profile, seed=seed, panels=panels),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     results = {}
     for panel_id, dataset, model in panels:
         curves = {}
@@ -74,6 +95,7 @@ def run_fig1_schemes(
     dataset="cifar10_like",
     model="ResNet20",
     bits=4,
+    workers=None,
     **runner_kwargs,
 ):
     """The paper's "beats GRAD-L1 under all quantization schemes" claim.
@@ -83,6 +105,15 @@ def run_fig1_schemes(
     """
     from ..quant import QuantScheme, evaluate_quantized
 
+    warm_for(
+        [
+            make_config(model, dataset, method, profile=profile, seed=seed)
+            for method in METHODS
+        ],
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     rows = []
     for scheme_name, kwargs_scheme in SCHEMES.items():
         entry = {"scheme": scheme_name}

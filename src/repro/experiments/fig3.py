@@ -21,8 +21,17 @@ from ..landscape import (
 from ..nn import CrossEntropyLoss
 from .config import make_config
 from .runner import load_experiment_data, run_training
+from .sweep import warm_for
 
 METHODS = ("hero", "sgd")
+
+
+def fig3_configs(profile="fast", seed=0, model="ResNet20-fast", dataset="cifar10_like"):
+    """The two training arms (HERO vs SGD) as a sweep spec."""
+    return [
+        make_config(model, dataset, method, profile=profile, seed=seed)
+        for method in METHODS
+    ]
 
 
 def run_fig3(
@@ -36,6 +45,7 @@ def run_fig3(
     tolerance=0.1,
     max_batches=2,
     direction_seed=7,
+    workers=None,
     **runner_kwargs,
 ):
     """Evaluate the 2-D loss surface around each method's optimum.
@@ -43,6 +53,12 @@ def run_fig3(
     Both surfaces use the same random seed for the plot directions and
     the same grid radius — the paper's "plotted under the same scale".
     """
+    warm_for(
+        fig3_configs(profile=profile, seed=seed, model=model, dataset=dataset),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     surfaces = {}
     for method in METHODS:
         config = make_config(model, dataset, method, profile=profile, seed=seed)

@@ -22,6 +22,15 @@ from .runner import (
     load_experiment_data,
     run_training,
 )
+from .sweep import warm_for
+
+
+def qat_motivation_configs(profile="fast", seed=0, model="ResNet20-fast", dataset="cifar10_like"):
+    """The cacheable arms (HERO, SGD) as a sweep spec; QAT trains inline."""
+    return [
+        make_config(model, dataset, method, profile=profile, seed=seed)
+        for method in ("hero", "sgd")
+    ]
 
 
 def run_qat_motivation(
@@ -32,9 +41,16 @@ def run_qat_motivation(
     dataset="cifar10_like",
     qat_bits=4,
     bits=(3, 4, 5, 6, 8),
+    workers=None,
     **runner_kwargs,
 ):
     """Deploy QAT@{qat_bits}, HERO and SGD models at every precision."""
+    warm_for(
+        qat_motivation_configs(profile=profile, seed=seed, model=model, dataset=dataset),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     curves = {}
     # HERO and SGD come from the shared cached runs.
     for method in ("hero", "sgd"):

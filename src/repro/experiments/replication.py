@@ -9,15 +9,22 @@ users who want error bars.
 import numpy as np
 
 from .runner import run_training
+from .sweep import warm_for
 
 
-def run_with_seeds(config, seeds=(0, 1, 2), cache_dir=None, **runner_kwargs):
+def run_with_seeds(config, seeds=(0, 1, 2), cache_dir=None, workers=None, **runner_kwargs):
     """Run ``config`` under each seed; returns per-seed results + stats.
 
     The seed is injected with ``config.with_overrides(seed=s)`` so data
     splits, init and shuffling all move together, like the paper's
-    independent runs.
+    independent runs.  ``workers > 1`` trains the seeds in parallel.
     """
+    warm_for(
+        [config.with_overrides(seed=seed) for seed in seeds],
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     results = []
     for seed in seeds:
         kwargs = dict(runner_kwargs)
@@ -38,7 +45,12 @@ def run_with_seeds(config, seeds=(0, 1, 2), cache_dir=None, **runner_kwargs):
 
 
 def compare_methods_with_seeds(
-    make_config_fn, methods=("hero", "sgd"), seeds=(0, 1, 2), cache_dir=None, **runner_kwargs
+    make_config_fn,
+    methods=("hero", "sgd"),
+    seeds=(0, 1, 2),
+    cache_dir=None,
+    workers=None,
+    **runner_kwargs,
 ):
     """Seed-replicated method comparison.
 
@@ -47,7 +59,20 @@ def compare_methods_with_seeds(
     plus a ``"significant"`` flag per non-reference method: whether its
     mean beats the last method's mean by more than the pooled std
     (a coarse effect-size screen, not a formal test).
+
+    The whole methods × seeds grid is warmed in one parallel sweep, so
+    ``workers`` parallelism spans methods as well as seeds.
     """
+    warm_for(
+        [
+            make_config_fn(method).with_overrides(seed=seed)
+            for method in methods
+            for seed in seeds
+        ],
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     stats = {
         method: run_with_seeds(
             make_config_fn(method), seeds=seeds, cache_dir=cache_dir, **runner_kwargs

@@ -8,6 +8,8 @@ trained for Table 1 instead of retraining them.
 
 import json
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,11 +18,33 @@ from .. import nn, optim
 from ..core import make_trainer
 from ..core.metrics import History
 from ..data import DataLoader, corrupt_dataset, make_dataset, standard_augment
+from ..io import file_lock
 from ..models import create_model
 from ..tensor import Tensor, no_grad
 from .config import TrainConfig
 
-DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache", "runs")
+
+def default_cache_dir():
+    """Resolve the run-cache directory.
+
+    ``REPRO_CACHE_DIR`` wins when set; otherwise the cache lives in
+    ``.cache/runs`` under the repository root.  Always returns a
+    normalized absolute path so forked/spawned workers and the parent
+    agree on the location regardless of their working directory.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return os.path.abspath(os.path.expanduser(env))
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+    return os.path.join(root, ".cache", "runs")
+
+
+#: Import-time snapshot kept for backwards compatibility; prefer
+#: :func:`default_cache_dir`, which re-reads the environment.
+DEFAULT_CACHE_DIR = default_cache_dir()
+
+#: Sentinel distinguishing "use the default cache" from "no cache" (None).
+_DEFAULT_CACHE = object()
 
 
 @dataclass
@@ -119,7 +143,7 @@ def accuracy_eval_fn(dataset, batch_size=160):
     return lambda model: evaluate_accuracy(model, dataset, batch_size=batch_size)
 
 
-def run_training(config, callbacks=(), cache_dir=DEFAULT_CACHE_DIR, force=False, verbose=False):
+def run_training(config, callbacks=(), cache_dir=_DEFAULT_CACHE, force=False, verbose=False):
     """Train (or load from cache) the run described by ``config``.
 
     Caching stores the final state dict, history and metrics; a cached
@@ -127,24 +151,36 @@ def run_training(config, callbacks=(), cache_dir=DEFAULT_CACHE_DIR, force=False,
     (quantization sweeps, landscapes) is identical to a fresh run.
     Runs that attach callbacks producing per-epoch extras are cached
     too — the callback-computed columns live inside the history.
+
+    The cache is safe under concurrent access: entries are written to a
+    temp directory and atomically renamed into place while holding a
+    per-key inter-process lock, so parallel sweep workers never observe
+    (or produce) a torn ``.cache/runs/<key>`` entry.
     """
+    if cache_dir is _DEFAULT_CACHE:
+        cache_dir = default_cache_dir()
     train, test, spec = load_experiment_data(config)
     model = build_model(config, spec)
 
     cache_path = None
     if cache_dir:
         cache_path = os.path.join(cache_dir, config.cache_key())
-        if not force and _cache_complete(cache_path):
-            state, history, metrics = _cache_load(cache_path)
-            model.load_state_dict(state)
-            return RunResult(
-                config=config,
-                model=model,
-                history=history,
-                train_acc=metrics["train_acc"],
-                test_acc=metrics["test_acc"],
-                from_cache=True,
-            )
+        if not force:
+            cached = None
+            with file_lock(cache_path + ".lock"):
+                if _cache_complete(cache_path):
+                    cached = _cache_load(cache_path)
+            if cached is not None:
+                state, history, metrics = cached
+                model.load_state_dict(state)
+                return RunResult(
+                    config=config,
+                    model=model,
+                    history=history,
+                    train_acc=metrics["train_acc"],
+                    test_acc=metrics["test_acc"],
+                    from_cache=True,
+                )
 
     trainer = build_trainer(config, model, callbacks=callbacks)
     transform = standard_augment() if config.augment else None
@@ -175,21 +211,41 @@ def run_training(config, callbacks=(), cache_dir=DEFAULT_CACHE_DIR, force=False,
 # ----------------------------------------------------------------------
 # Cache plumbing
 # ----------------------------------------------------------------------
+#: Files that make up one complete cache entry.
+_CACHE_FILES = ("state.npz", "history.json", "metrics.json")
+
+
 def _cache_complete(path):
-    return all(
-        os.path.exists(os.path.join(path, name))
-        for name in ("state.npz", "history.json", "metrics.json")
-    )
+    return all(os.path.exists(os.path.join(path, name)) for name in _CACHE_FILES)
 
 
 def _cache_store(path, model, history, train_acc, test_acc):
-    os.makedirs(path, exist_ok=True)
-    state = model.state_dict()
-    np.savez(os.path.join(path, "state.npz"), **state)
-    with open(os.path.join(path, "history.json"), "w") as fh:
-        json.dump(history.to_dict(), fh)
-    with open(os.path.join(path, "metrics.json"), "w") as fh:
-        json.dump({"train_acc": train_acc, "test_acc": test_acc}, fh)
+    """Publish one cache entry atomically.
+
+    The entry is assembled in a sibling temp directory and renamed into
+    place under the per-key lock: concurrent readers only ever see a
+    fully formed ``<key>/`` directory.  When two workers race to store
+    the same key the last writer wins atomically — results are
+    deterministic per config, so either copy is correct.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp = tempfile.mkdtemp(prefix=os.path.basename(path) + ".tmp.", dir=parent)
+    try:
+        np.savez(os.path.join(tmp, "state.npz"), **model.state_dict())
+        with open(os.path.join(tmp, "history.json"), "w") as fh:
+            json.dump(history.to_dict(), fh)
+        with open(os.path.join(tmp, "metrics.json"), "w") as fh:
+            json.dump({"train_acc": train_acc, "test_acc": test_acc}, fh)
+        with file_lock(path + ".lock"):
+            if os.path.isdir(path):
+                # A previous (possibly partial, possibly stale-forced)
+                # entry exists; replace it wholesale.
+                shutil.rmtree(path)
+            os.rename(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
 
 
 def _cache_load(path):

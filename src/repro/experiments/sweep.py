@@ -1,0 +1,300 @@
+"""Parallel experiment sweep engine.
+
+Every table and figure in the reproduction is a grid of independent
+:class:`~repro.experiments.config.TrainConfig` runs, already memoized
+under the run cache.  This module executes such grids across a
+``multiprocessing`` worker pool:
+
+* **Lock-safe caching** — workers share the on-disk run cache; the
+  runner's write-to-temp-then-rename stores plus per-key inter-process
+  locks mean concurrent workers never corrupt or duplicate an entry.
+* **Bit-identical results** — runs are seeded entirely from their
+  config (data split, init, shuffling), so a parallel sweep produces
+  exactly the same run keys, weights and metrics as a serial one.
+* **Structured reporting** — each run yields a :class:`RunRecord`
+  (status, wall-clock, cache hit, metrics) aggregated into a
+  :class:`SweepReport`; a worker crash is contained as an ``error``
+  record instead of taking down the sweep.
+
+Workers default to serial execution so unit tests and small grids stay
+deterministic and fork-free; opt in with ``workers=N`` or the
+``REPRO_WORKERS`` environment variable.  The ``python -m
+repro.experiments sweep`` CLI verb exposes the engine directly.
+"""
+
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from .reporting import format_table
+from .runner import _DEFAULT_CACHE, default_cache_dir, run_training
+
+#: Environment variable naming the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers=None):
+    """Resolve a worker count: explicit arg > ``REPRO_WORKERS`` > 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(workers))
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one sweep run (lightweight — no model weights)."""
+
+    key: str
+    config: object
+    status: str  # "ok" | "error"
+    from_cache: bool = False
+    seconds: float = 0.0
+    train_acc: float = None
+    test_acc: float = None
+    error: str = None
+    pid: int = 0
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+@dataclass
+class SweepReport:
+    """Aggregate result of :func:`run_sweep`."""
+
+    records: list = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cache_dir: str = None
+    deduped: int = 0  #: configs dropped because their run key repeated
+
+    @property
+    def n_ok(self):
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def n_errors(self):
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def cache_hits(self):
+        return sum(1 for r in self.records if r.ok and r.from_cache)
+
+    @property
+    def cache_hit_rate(self):
+        return self.cache_hits / len(self.records) if self.records else 0.0
+
+    def to_dict(self):
+        """JSON-safe summary (what ``--json`` dumps)."""
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cache_dir": self.cache_dir,
+            "deduped": self.deduped,
+            "n_ok": self.n_ok,
+            "n_errors": self.n_errors,
+            "cache_hits": self.cache_hits,
+            "runs": [
+                {
+                    "key": r.key,
+                    "config": r.config.to_dict(),
+                    "status": r.status,
+                    "from_cache": r.from_cache,
+                    "seconds": r.seconds,
+                    "train_acc": r.train_acc,
+                    "test_acc": r.test_acc,
+                    "error": r.error,
+                }
+                for r in self.records
+            ],
+        }
+
+
+def _execute_task(task):
+    """Worker entry point: run one config, contain any crash.
+
+    Must stay a module-level function so it pickles under the ``spawn``
+    start method.  ``task`` is ``(config, cache_dir, force,
+    callback_factory)``; the factory (if any) is called *inside* the
+    worker so unpicklable callback state never crosses the process
+    boundary.
+    """
+    config, cache_dir, force, callback_factory = task
+    start = time.perf_counter()
+    try:
+        callbacks = callback_factory(config) if callback_factory is not None else ()
+        result = run_training(
+            config, callbacks=callbacks, cache_dir=cache_dir, force=force
+        )
+        return RunRecord(
+            key=config.cache_key(),
+            config=config,
+            status="ok",
+            from_cache=result.from_cache,
+            seconds=time.perf_counter() - start,
+            train_acc=result.train_acc,
+            test_acc=result.test_acc,
+            pid=os.getpid(),
+        )
+    except Exception as exc:
+        return RunRecord(
+            key=config.cache_key(),
+            config=config,
+            status="error",
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            pid=os.getpid(),
+        )
+
+
+def run_sweep(
+    configs,
+    workers=None,
+    cache_dir=_DEFAULT_CACHE,
+    force=False,
+    callback_factory=None,
+    mp_context="spawn",
+    progress=None,
+):
+    """Execute every config in ``configs``; returns a :class:`SweepReport`.
+
+    Configs whose run key repeats are deduplicated (the cache would
+    serve the duplicate anyway).  With ``workers > 1`` the unique
+    configs are distributed over a ``multiprocessing`` pool; results
+    land in the shared run cache and the per-run metrics come back as
+    :class:`RunRecord` entries, in the order of first appearance.
+
+    ``callback_factory`` (optional, picklable, called as
+    ``factory(config)`` inside each worker) builds per-run training
+    callbacks — e.g. Fig. 2's Hessian-norm probe.  ``progress`` is an
+    optional callable receiving each finished :class:`RunRecord`.
+    """
+    configs = list(configs)
+    workers = resolve_workers(workers)
+    if cache_dir is _DEFAULT_CACHE:
+        cache_dir = default_cache_dir()
+    if workers > 1 and not cache_dir:
+        raise ValueError(
+            "parallel sweeps need a cache_dir: workers return metrics only "
+            "and the trained weights are published through the run cache"
+        )
+
+    unique, seen = [], set()
+    for config in configs:
+        key = config.cache_key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(config)
+    tasks = [(config, cache_dir, force, callback_factory) for config in unique]
+
+    start = time.perf_counter()
+    records = []
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            record = _execute_task(task)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    else:
+        ctx = get_context(mp_context)
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            for record in pool.imap(_execute_task, tasks):
+                records.append(record)
+                if progress is not None:
+                    progress(record)
+    return SweepReport(
+        records=records,
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+        cache_dir=cache_dir if cache_dir else None,
+        deduped=len(configs) - len(unique),
+    )
+
+
+def warm_cache(configs, workers=None, cache_dir=None, force=False, callback_factory=None):
+    """Pre-populate the run cache in parallel; no-op when serial.
+
+    The table/figure drivers call this before assembling their results:
+    with ``workers > 1`` every grid cell trains concurrently and the
+    driver's subsequent ``run_training`` calls become cache hits; with
+    the default serial worker count the drivers behave exactly as
+    before (train lazily, in order), keeping tier-1 runs deterministic.
+    Returns the :class:`SweepReport`, or ``None`` on the serial path.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return None
+    return run_sweep(
+        configs,
+        workers=workers,
+        cache_dir=cache_dir if cache_dir is not None else default_cache_dir(),
+        force=force,
+        callback_factory=callback_factory,
+    )
+
+
+def warm_for(configs, runner_kwargs, workers=None, cache_dir=None, callback_factory=None):
+    """Warm the cache on behalf of a table/figure driver.
+
+    Wraps :func:`warm_cache` with the contract every driver needs:
+    when a parallel warm pass ran, the driver's ``force`` flag is
+    cleared in ``runner_kwargs`` (mutated in place) so its subsequent
+    ``run_training`` calls read the freshly written cache instead of
+    force-retraining serially.  Returns the :class:`SweepReport`, or
+    ``None`` on the serial no-op path.
+    """
+    report = warm_cache(
+        configs,
+        workers=workers,
+        cache_dir=cache_dir,
+        force=runner_kwargs.get("force", False),
+        callback_factory=callback_factory,
+    )
+    if report is not None:
+        runner_kwargs["force"] = False
+    return report
+
+
+def format_sweep(report, limit=None):
+    """Render a sweep report as a text table plus a summary line."""
+    headers = ["Key", "Model", "Dataset", "Method", "Seed", "Status", "Time", "Test acc"]
+    rows = []
+    for record in report.records[: limit if limit else len(report.records)]:
+        config = record.config
+        status = "hit" if record.ok and record.from_cache else record.status
+        rows.append(
+            [
+                record.key,
+                config.model,
+                config.dataset,
+                config.method,
+                str(config.seed),
+                status,
+                f"{record.seconds:.1f}s",
+                record.test_acc if record.test_acc is not None else "-",
+            ]
+        )
+    table = format_table(headers, rows, title="Sweep runs")
+    summary = (
+        f"{len(report.records)} runs on {report.workers} worker(s) in "
+        f"{report.wall_seconds:.1f}s — {report.cache_hits} cache hit(s), "
+        f"{report.n_errors} error(s)"
+        + (f", {report.deduped} duplicate config(s) collapsed" if report.deduped else "")
+    )
+    lines = [table]
+    for record in report.records:
+        if not record.ok:
+            lines.append(f"  error [{record.key}]: {record.error}")
+    lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ row, while GRAD-L1 is not consistently better than SGD.
 from .config import make_config
 from .reporting import format_table
 from .runner import run_training
+from .sweep import warm_for
 
 METHODS = ("hero", "grad_l1", "sgd")
 
@@ -24,12 +25,31 @@ ROWS = (
 )
 
 
-def run_table1(profile="fast", cache_dir=None, seed=0, rows=ROWS, **runner_kwargs):
+def table1_configs(profile="fast", seed=0, rows=ROWS):
+    """The table's grid as a sweep spec (one config per cell)."""
+    return [
+        make_config(model, dataset, method, profile=profile, seed=seed)
+        for dataset, model in rows
+        for method in METHODS
+    ]
+
+
+def run_table1(profile="fast", cache_dir=None, seed=0, rows=ROWS, workers=None, **runner_kwargs):
     """Train every (dataset, model, method) cell; return the table data.
+
+    With ``workers > 1`` (or ``REPRO_WORKERS`` set) the grid trains in
+    parallel through the sweep engine first; the assembly loop below
+    then reads every cell from cache.
 
     Returns ``{"rows": [...], "profile": profile}`` where each row is a
     dict with the dataset, model and one test accuracy per method.
     """
+    warm_for(
+        table1_configs(profile=profile, seed=seed, rows=rows),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     table_rows = []
     for dataset, model in rows:
         entry = {"dataset": dataset, "model": model}

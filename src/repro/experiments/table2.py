@@ -12,10 +12,23 @@ budget; the architecture families match the paper's.
 from .config import make_config
 from .reporting import format_table
 from .runner import run_training
+from .sweep import warm_for
 
 METHODS = ("hero", "grad_l1", "sgd")
 NOISE_RATIOS = (0.2, 0.4, 0.6, 0.8)
 MODELS = ("ResNet20-fast", "MobileNetV2-fast")
+
+
+def table2_configs(profile="fast", seed=0, models=MODELS, noise_ratios=NOISE_RATIOS):
+    """The noisy-label grid as a sweep spec."""
+    return [
+        make_config(
+            model, "cifar10_like", method, profile=profile, seed=seed, label_noise=ratio
+        )
+        for model in models
+        for ratio in noise_ratios
+        for method in METHODS
+    ]
 
 
 def run_table2(
@@ -24,9 +37,16 @@ def run_table2(
     seed=0,
     models=MODELS,
     noise_ratios=NOISE_RATIOS,
+    workers=None,
     **runner_kwargs,
 ):
     """Train each (model, noise ratio, method) cell on noisy labels."""
+    warm_for(
+        table2_configs(profile=profile, seed=seed, models=models, noise_ratios=noise_ratios),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     panels = {}
     for model in models:
         rows = []

@@ -11,13 +11,30 @@ from ..quant import QuantScheme, evaluate_quantized
 from .config import make_config
 from .reporting import format_table
 from .runner import accuracy_eval_fn, load_experiment_data, run_training
+from .sweep import warm_for
 
 METHODS = ("hero", "first_order", "sgd")
 BITS = (4, 6, 8)
 
 
-def run_table3(profile="fast", cache_dir=None, seed=0, model="MobileNetV2", **runner_kwargs):
+def table3_configs(profile="fast", seed=0, model="MobileNetV2"):
+    """The ablation's three training arms as a sweep spec."""
+    return [
+        make_config(model, "cifar10_like", method, profile=profile, seed=seed)
+        for method in METHODS
+    ]
+
+
+def run_table3(
+    profile="fast", cache_dir=None, seed=0, model="MobileNetV2", workers=None, **runner_kwargs
+):
     """Train the three arms and sweep PTQ at the paper's precisions."""
+    warm_for(
+        table3_configs(profile=profile, seed=seed, model=model),
+        runner_kwargs,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     rows = []
     for method in METHODS:
         config = make_config(model, "cifar10_like", method, profile=profile, seed=seed)

@@ -4,12 +4,90 @@ Weights are stored as a flat ``.npz`` archive (the same format the
 experiment runner's cache uses) plus a JSON sidecar carrying arbitrary
 metadata — enough to resume training or ship a trained model without
 pickling code objects.
+
+This module also hosts the concurrency primitives the experiment
+runner's on-disk cache builds on: :func:`file_lock` (an inter-process
+advisory lock) and :func:`atomic_write_json` (write-to-temp-then-rename
+so readers never observe a half-written file).
 """
 
+import contextlib
 import json
 import os
+import tempfile
+import time
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+class LockTimeout(TimeoutError):
+    """Raised when :func:`file_lock` cannot acquire within its timeout."""
+
+
+@contextlib.contextmanager
+def file_lock(path, timeout=600.0, poll=0.05):
+    """Hold an exclusive inter-process lock on ``path``.
+
+    On POSIX the lock is a blocking ``flock`` on ``path`` (created on
+    demand and left in place — flock locks die with the holder, so a
+    crashed process never wedges the cache).  Where ``fcntl`` is
+    unavailable it falls back to an ``O_EXCL`` spin lock with the given
+    ``timeout``/``poll`` budget.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if fcntl is not None:
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+    else:  # pragma: no cover - exercised only on non-POSIX hosts
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
+                break
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(f"could not lock {path!r} within {timeout}s")
+                time.sleep(poll)
+        try:
+            yield
+        finally:
+            os.close(fd)
+            with contextlib.suppress(OSError):
+                os.remove(path)
+
+
+def atomic_write_json(path, payload, **dump_kwargs):
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The bytes land in a same-directory temp file that is fsynced and
+    then renamed over ``path``, so concurrent readers see either the
+    old complete file or the new complete file — never a torn write.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".tmp.", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, **dump_kwargs)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+    return path
 
 
 def save_checkpoint(path, model, metadata=None, optimizer=None, history=None):
@@ -27,8 +105,7 @@ def save_checkpoint(path, model, metadata=None, optimizer=None, history=None):
         sidecar["optimizer"] = _optimizer_sidecar(optimizer)
     if history is not None:
         sidecar["history"] = history.to_dict()
-    with open(_sidecar_path(path), "w") as fh:
-        json.dump(sidecar, fh, indent=2, default=_jsonify)
+    atomic_write_json(_sidecar_path(path), sidecar, indent=2, default=_jsonify)
     return path
 
 

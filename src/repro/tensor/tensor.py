@@ -14,7 +14,7 @@ The design follows the PyTorch model closely:
 import numpy as np
 
 from ._gradmode import no_grad, enable_grad
-from .function import Function, as_array, DEFAULT_DTYPE
+from .function import as_array, DEFAULT_DTYPE
 
 
 class Tensor:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn, optim
-from repro.core import QATTrainer, make_trainer
+from repro.core import make_trainer
 from repro.data import ArrayDataset, DataLoader, gaussian_blobs
 from repro.models import MLP, create_model
 from repro.quant import QuantScheme, evaluate_quantized, quantize_array

@@ -16,6 +16,7 @@ def cache_dir(tmp_path_factory):
 
 
 class TestTable1:
+    @pytest.mark.slow
     def test_structure_and_format(self, cache_dir):
         result = ex.run_table1(
             profile="smoke",
@@ -32,6 +33,7 @@ class TestTable1:
 
 
 class TestTable2:
+    @pytest.mark.slow
     def test_structure(self, cache_dir):
         result = ex.run_table2(
             profile="smoke",

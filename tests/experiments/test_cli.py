@@ -43,6 +43,7 @@ class TestRunArtifact:
             payload = json.load(fh)
         assert "rows" in payload
 
+    @pytest.mark.slow
     def test_fig3_smoke(self):
         out = io.StringIO()
         run_artifact("fig3", "smoke", seed=0, out=out)

@@ -1,6 +1,7 @@
 """Seed replication utilities."""
 
 import numpy as np
+import pytest
 
 from repro.experiments import compare_methods_with_seeds, make_config, run_with_seeds
 
@@ -36,6 +37,7 @@ class TestRunWithSeeds:
 
 
 class TestCompareMethods:
+    @pytest.mark.slow
     def test_structure_and_flags(self, tmp_path):
         stats = compare_methods_with_seeds(
             base_config,

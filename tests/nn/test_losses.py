@@ -53,8 +53,8 @@ class TestCrossEntropy:
     def test_gradient(self, rng):
         logits = rng.standard_normal((5, 4))
         y = rng.integers(0, 4, 5)
-        check_gradient(lambda l: nn.cross_entropy(l, y), [logits])
-        check_gradient(lambda l: nn.cross_entropy(l, y, label_smoothing=0.3), [logits])
+        check_gradient(lambda lg: nn.cross_entropy(lg, y), [logits])
+        check_gradient(lambda lg: nn.cross_entropy(lg, y, label_smoothing=0.3), [logits])
 
     def test_gradient_is_softmax_minus_onehot(self, rng):
         logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
@@ -68,7 +68,7 @@ class TestCrossEntropy:
     def test_second_order(self, rng):
         logits = rng.standard_normal((4, 3))
         y = rng.integers(0, 3, 4)
-        check_hvp(lambda l: nn.cross_entropy(l, y), [logits], rng.standard_normal((4, 3)))
+        check_hvp(lambda lg: nn.cross_entropy(lg, y), [logits], rng.standard_normal((4, 3)))
 
     def test_shape_validation(self, rng):
         with pytest.raises(ValueError):

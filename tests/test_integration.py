@@ -8,7 +8,7 @@ quantization / curvature analysis.
 import numpy as np
 import pytest
 
-from repro import Tensor, nn, optim
+from repro import nn, optim
 from repro.core import make_trainer
 from repro.data import DataLoader, make_dataset
 from repro.experiments.runner import evaluate_accuracy
@@ -45,6 +45,7 @@ class TestTrainingPipelines:
         # clearly above the 10% chance level even at 4 epochs
         assert evaluate_accuracy(model, train) > 0.2
 
+    @pytest.mark.slow
     def test_mobilenet_hero_pipeline(self):
         model, history, _train, test = train_quick(
             "hero", model_name="mobilenetv2", epochs=3, h=0.01, gamma=0.05
