@@ -1,4 +1,4 @@
-"""Per-step training cost of the four methods.
+"""Per-step training cost of the four methods, across engine dtypes.
 
 The paper argues HERO's Hessian regularization needs "only one
 additional backpropagation" on top of the SAM-style perturbed pass.
@@ -6,15 +6,29 @@ This bench measures the realized per-batch cost: SGD is one
 forward/backward, first-order two, GRAD-L1 one plus a double-backward,
 HERO two plus a double-backward — so HERO should land within a small
 constant factor (~3-5x) of SGD, not asymptotically worse.
+
+The dtype axis demonstrates the precision policy's payoff: the same
+training step under the float32 policy versus float64.  The engine is
+memory-bandwidth bound at this scale, so float32 should be measurably
+faster on every method.
+
+Standalone smoke mode (no pytest-benchmark needed — used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_step_cost.py --steps 3 \
+        --json results/step_cost.json
 """
 
+import argparse
+import json
+import time
+
 import numpy as np
-import pytest
 
 from repro import nn, optim
 from repro.core import make_trainer
 from repro.data import make_dataset
 from repro.models import create_model
+from repro.tensor import dtype_context
 
 METHOD_KWARGS = {
     "sgd": {},
@@ -23,24 +37,92 @@ METHOD_KWARGS = {
     "hero": {"h": 0.01, "gamma": 0.05},
 }
 
+DTYPES = ("float32", "float64")
 
-def make_step(method):
-    train, _test, spec = make_dataset("cifar10_like", train_size=64, test_size=32)
-    model = create_model("resnet8", num_classes=spec.num_classes, scale=1.0, seed=0)
-    loss_fn = nn.CrossEntropyLoss()
-    opt = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
-    trainer = make_trainer(method, model, loss_fn, opt, **METHOD_KWARGS[method])
-    x, y = train[np.arange(64)]
+
+def make_step(method, dtype="float32"):
+    """Build a closure running one training step under ``dtype``."""
+    with dtype_context(dtype):
+        train, _test, spec = make_dataset("cifar10_like", train_size=64, test_size=32)
+        model = create_model("resnet8", num_classes=spec.num_classes, scale=1.0, seed=0)
+        loss_fn = nn.CrossEntropyLoss()
+        opt = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        trainer = make_trainer(method, model, loss_fn, opt, **METHOD_KWARGS[method])
+        x, y = train[np.arange(64)]
 
     def step():
-        trainer.training_step(x, y)
-        opt.step()
+        with dtype_context(dtype):
+            trainer.training_step(x, y)
+            opt.step()
 
     return step
 
 
-@pytest.mark.parametrize("method", list(METHOD_KWARGS))
-def test_training_step_cost(benchmark, method):
-    step = make_step(method)
-    step()  # warm up the im2col index caches
-    benchmark.pedantic(step, rounds=5, iterations=1, warmup_rounds=1)
+try:
+    import pytest
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("method", list(METHOD_KWARGS))
+    def test_training_step_cost(benchmark, method, dtype):
+        step = make_step(method, dtype)
+        step()  # warm up the im2col index caches
+        benchmark.pedantic(step, rounds=5, iterations=1, warmup_rounds=1)
+
+except ImportError:  # pragma: no cover - pytest always present in dev
+    pass
+
+
+def run_smoke(steps=3, methods=None, dtypes=DTYPES):
+    """Time ``steps`` training steps per (method, dtype); returns a dict.
+
+    ``runs`` holds uniform per-cell timings; the float64/float32 ratios
+    live separately under ``speedups`` so timing consumers never mix
+    units.
+    """
+    methods = list(methods or METHOD_KWARGS)
+    results = {"steps": steps, "runs": [], "speedups": {}}
+    for method in methods:
+        per_dtype = {}
+        for dtype in dtypes:
+            step = make_step(method, dtype)
+            step()  # warm-up
+            start = time.perf_counter()
+            for _ in range(steps):
+                step()
+            seconds = (time.perf_counter() - start) / steps
+            per_dtype[dtype] = seconds
+            results["runs"].append(
+                {"method": method, "dtype": dtype, "seconds_per_step": seconds}
+            )
+        if "float32" in per_dtype and "float64" in per_dtype:
+            speedup = per_dtype["float64"] / per_dtype["float32"]
+            results["speedups"][method] = speedup
+            print(
+                f"{method:>12}: float32 {per_dtype['float32'] * 1e3:8.1f} ms/step, "
+                f"float64 {per_dtype['float64'] * 1e3:8.1f} ms/step "
+                f"-> {speedup:.2f}x"
+            )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=3, help="timed steps per cell")
+    parser.add_argument(
+        "--methods",
+        default=None,
+        help=f"comma-separated subset of {sorted(METHOD_KWARGS)} (default: all)",
+    )
+    parser.add_argument("--json", default=None, help="write timings to this JSON path")
+    args = parser.parse_args(argv)
+    methods = args.methods.split(",") if args.methods else None
+    results = run_smoke(steps=args.steps, methods=methods)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"timings -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ Subpackages
 """
 
 from . import tensor, nn, models, data, optim, core, quant, hessian, landscape
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, no_grad, default_dtype, set_default_dtype, dtype_context
 from .core import make_trainer, available_methods
 
 __version__ = "1.0.0"
@@ -37,6 +37,9 @@ __all__ = [
     "landscape",
     "Tensor",
     "no_grad",
+    "default_dtype",
+    "set_default_dtype",
+    "dtype_context",
     "make_trainer",
     "available_methods",
     "__version__",

@@ -8,7 +8,7 @@ untouched.
 
 import numpy as np
 
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, default_dtype, no_grad
 
 
 def input_gradient(model, loss_fn, x, y):
@@ -17,7 +17,7 @@ def input_gradient(model, loss_fn, x, y):
     model.eval()
     for p in model.parameters():
         p.grad = None
-    x_tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    x_tensor = Tensor(np.asarray(x, dtype=default_dtype()), requires_grad=True)
     loss = loss_fn(model(x_tensor), y)
     loss.backward()
     grad = (
@@ -48,7 +48,7 @@ def pgd(model, loss_fn, x, y, epsilon, steps=10, step_size=None, seed=None):
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
     if steps <= 0:
         raise ValueError(f"steps must be positive, got {steps}")
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=default_dtype())
     step = step_size if step_size is not None else 2.5 * epsilon / steps
     if seed is not None:
         rng = np.random.default_rng(seed)

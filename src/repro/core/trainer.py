@@ -100,7 +100,13 @@ class Trainer:
         return self.history
 
     def run_epoch(self, train_loader, epoch):
-        """One pass over the training loader; returns the epoch's logs."""
+        """One pass over the training loader; returns the epoch's logs.
+
+        Metric accumulation happens in :class:`AverageMeter`'s Python
+        floats (i.e. float64) regardless of the engine precision
+        policy, so logged losses/accuracies do not drift when training
+        runs in float32.
+        """
         self.model.train()
         loss_meter = AverageMeter()
         acc_meter = AverageMeter()

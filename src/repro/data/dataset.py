@@ -7,12 +7,19 @@ indexable collection of ``(x, y)`` pairs backed by numpy arrays, and a
 
 import numpy as np
 
+from ..tensor import default_dtype
+
 
 class ArrayDataset:
-    """In-memory dataset over parallel numpy arrays."""
+    """In-memory dataset over parallel numpy arrays.
+
+    Inputs are stored in the engine dtype of the precision policy so
+    every batch a loader yields feeds the model without a per-step
+    cast.
+    """
 
     def __init__(self, inputs, targets):
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=default_dtype())
         targets = np.asarray(targets)
         if len(inputs) != len(targets):
             raise ValueError(

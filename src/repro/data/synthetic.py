@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..tensor import default_dtype
 from .dataset import ArrayDataset
 
 
@@ -139,7 +140,10 @@ def _sample_images(spec, prototypes, labels, rng):
     """Draw one image per label: jittered prototype + interference + noise."""
     count = len(labels)
     size = spec.image_size
-    images = np.empty((count, spec.channels, size, size))
+    # Allocate the (large) sample array directly in the engine dtype;
+    # the float64 prototype mixture and noise draws cast on store, so
+    # the random stream is shared across precision policies.
+    images = np.empty((count, spec.channels, size, size), dtype=default_dtype())
     other = rng.integers(0, spec.num_classes, size=count)
     # Make sure interference comes from a *different* class.
     clash = other == labels

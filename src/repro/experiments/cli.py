@@ -50,6 +50,7 @@ from . import (
     run_table3,
     save_json,
 )
+from ..tensor import set_default_dtype
 from .ablations import ablation_configs
 from .config import TrainConfig, make_grid
 from .sweep import WORKERS_ENV, format_sweep, resolve_workers, run_sweep, warm_cache
@@ -122,6 +123,13 @@ def build_parser():
         default=None,
         help=f"worker processes (default: ${WORKERS_ENV} or serial; "
         "the sweep verb defaults to a small pool)",
+    )
+    parser.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="engine precision for every run in this invocation "
+        "(default: the REPRO_DTYPE policy, float32)",
     )
     parser.add_argument("--json", help="also dump raw results to this JSON path")
     sweep_group = parser.add_argument_group("sweep grid (sweep verb only)")
@@ -220,6 +228,8 @@ def run_artifact(
 def main(argv=None):
     """CLI entry point; returns a shell exit code."""
     args = build_parser().parse_args(argv)
+    if args.dtype:
+        set_default_dtype(args.dtype)
     if args.artifact == "sweep":
         return 1 if run_sweep_command(args) else 0
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]

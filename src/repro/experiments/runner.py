@@ -11,6 +11,7 @@ import os
 import shutil
 import tempfile
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -20,7 +21,7 @@ from ..core.metrics import History
 from ..data import DataLoader, corrupt_dataset, make_dataset, standard_augment
 from ..io import file_lock
 from ..models import create_model
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, dtype_context, no_grad
 from .config import TrainConfig
 
 
@@ -65,10 +66,47 @@ class RunResult:
         return self.train_acc - self.test_acc
 
 
+#: Size of the in-process synthetic-dataset memo (entries are a few MB
+#: each; a sweep worker typically cycles through 1-3 dataset profiles).
+_DATASET_CACHE_SIZE = 8
+
+
+@lru_cache(maxsize=_DATASET_CACHE_SIZE)
+def _cached_make_dataset(profile, train_size, test_size, dtype):
+    """Bounded per-process memo over synthetic dataset generation.
+
+    Keyed by ``(profile, sizes, engine dtype)`` — the dtype is part of
+    the key because dataset arrays are produced in the engine dtype, so
+    a float64 run must not reuse a float32 worker's arrays (generation
+    runs under ``dtype_context(dtype)`` so key and arrays always
+    agree).  Generation is deterministic per key, and callers treat the
+    returned datasets as read-only (label noise copies targets,
+    augmentation copies batches), so sharing one instance across runs
+    is safe.
+    """
+    with dtype_context(dtype):
+        return make_dataset(profile, train_size=train_size, test_size=test_size)
+
+
+def clear_dataset_cache():
+    """Drop the in-process synthetic-dataset memo (mainly for tests)."""
+    _cached_make_dataset.cache_clear()
+
+
 def load_experiment_data(config):
-    """Datasets for a config: ``(train, test, spec)``, label noise applied."""
-    train, test, spec = make_dataset(
-        config.dataset, train_size=config.train_size, test_size=config.test_size
+    """Datasets for a config: ``(train, test, spec)``, label noise applied.
+
+    Repeated calls for the same ``(dataset, sizes, dtype)`` — e.g. the
+    many grid cells a sweep worker processes — reuse one memoized
+    generation instead of regenerating identical arrays.  The data is
+    produced in the config's resolved dtype (not the ambient policy),
+    so a driver evaluating a ``dtype='float64'`` run from a float32
+    process sees exactly the arrays the run trained on.  The
+    label-noise corruption stays outside the memo (it depends on the
+    run seed) and shares the memoized input arrays.
+    """
+    train, test, spec = _cached_make_dataset(
+        config.dataset, config.train_size, config.test_size, config.resolved_dtype()
     )
     if config.label_noise > 0:
         train, _mask = corrupt_dataset(
@@ -146,6 +184,11 @@ def accuracy_eval_fn(dataset, batch_size=160):
 def run_training(config, callbacks=(), cache_dir=_DEFAULT_CACHE, force=False, verbose=False):
     """Train (or load from cache) the run described by ``config``.
 
+    The whole run — dataset generation, model init, training, eval —
+    executes under the config's engine dtype
+    (:meth:`TrainConfig.resolved_dtype`), so a single process can mix
+    float32 and float64 runs and each lands in its own cache entry.
+
     Caching stores the final state dict, history and metrics; a cached
     run restores the exact trained weights, so downstream analysis
     (quantization sweeps, landscapes) is identical to a fresh run.
@@ -157,6 +200,13 @@ def run_training(config, callbacks=(), cache_dir=_DEFAULT_CACHE, force=False, ve
     per-key inter-process lock, so parallel sweep workers never observe
     (or produce) a torn ``.cache/runs/<key>`` entry.
     """
+    with dtype_context(config.resolved_dtype()):
+        return _run_training(
+            config, callbacks=callbacks, cache_dir=cache_dir, force=force, verbose=verbose
+        )
+
+
+def _run_training(config, callbacks, cache_dir, force, verbose):
     if cache_dir is _DEFAULT_CACHE:
         cache_dir = default_cache_dir()
     train, test, spec = load_experiment_data(config)

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 
+from ..tensor import dtype_name
 from .reporting import format_table
 from .runner import _DEFAULT_CACHE, default_cache_dir, run_training
 
@@ -179,7 +180,14 @@ def run_sweep(
     callbacks — e.g. Fig. 2's Hessian-norm probe.  ``progress`` is an
     optional callable receiving each finished :class:`RunRecord`.
     """
-    configs = list(configs)
+    # Pin each config's engine dtype to the parent's resolved policy
+    # before dispatch: workers re-resolve ``dtype=None`` against *their*
+    # environment, which may disagree with a parent that changed the
+    # policy programmatically — and then cache keys would diverge.
+    configs = [
+        config if config.dtype else config.with_overrides(dtype=dtype_name(None))
+        for config in configs
+    ]
     workers = resolve_workers(workers)
     if cache_dir is _DEFAULT_CACHE:
         cache_dir = default_cache_dir()

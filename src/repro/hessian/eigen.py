@@ -9,6 +9,8 @@ Fig. 2 bench alongside the cheaper ``||Hz||`` proxy).
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, eigsh
 
+from ..tensor import VERIFY_DTYPE
+
 
 def _flatten(vectors):
     return np.concatenate([np.asarray(v).reshape(-1) for v in vectors])
@@ -74,10 +76,13 @@ def lanczos_eigenvalues(hvp_fn, shapes, k=3, which="LA", seed=0, maxiter=None):
     rng = np.random.default_rng(seed)
 
     def matvec(flat):
-        hv = hvp_fn(_unflatten(np.asarray(flat, dtype=np.float64), shapes))
-        return _flatten(hv)
+        # Eigensolves are verification-grade numerics: the Krylov basis
+        # stays float64 even when the engine policy is float32 (the HVP
+        # itself runs in the model's dtype).
+        hv = hvp_fn(_unflatten(np.asarray(flat, dtype=VERIFY_DTYPE), shapes))
+        return _flatten(hv).astype(VERIFY_DTYPE, copy=False)
 
-    operator = LinearOperator((total, total), matvec=matvec, dtype=np.float64)
+    operator = LinearOperator((total, total), matvec=matvec, dtype=VERIFY_DTYPE)
     v0 = rng.standard_normal(total)
     values = eigsh(
         operator,

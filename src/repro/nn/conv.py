@@ -12,6 +12,7 @@ group axis — no Python-level loop over groups.
 
 import numpy as np
 
+from ..tensor import default_dtype
 from . import init
 from .module import Module, Parameter
 
@@ -163,12 +164,12 @@ class Conv2d(Module):
         self.dilation = _pair(dilation)
         self.groups = groups
         self.weight = Parameter(
-            np.empty((out_channels, in_channels // groups, kh, kw))
+            np.empty((out_channels, in_channels // groups, kh, kw), dtype=default_dtype())
         )
         init.kaiming_normal_(self.weight, rng)
         if bias:
             fan_in = (in_channels // groups) * kh * kw
-            self.bias = Parameter(np.empty(out_channels))
+            self.bias = Parameter(np.empty(out_channels, dtype=default_dtype()))
             init.linear_bias_(self.bias, rng, fan_in)
         else:
             self.bias = None

@@ -25,8 +25,8 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
-        return x * Tensor(mask)
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / np.asarray(keep, dtype=x.dtype)
+        return x * Tensor(mask, dtype=x.dtype)
 
     def __repr__(self):
         return f"Dropout(p={self.p})"

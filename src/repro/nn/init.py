@@ -2,6 +2,9 @@
 
 All initializers operate in-place on a tensor's numpy buffer and take an
 explicit ``numpy.random.Generator`` so experiments stay deterministic.
+Draws happen in float64 and are cast to the tensor's dtype, so the
+random stream (and hence the init, up to rounding) is identical under
+every engine precision policy.
 """
 
 import math
@@ -27,7 +30,7 @@ def kaiming_normal_(tensor, rng, nonlinearity="relu"):
     fan_in, _ = _fan_in_out(tensor.shape)
     gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
     std = gain / math.sqrt(fan_in)
-    tensor.data = rng.standard_normal(tensor.shape) * std
+    tensor.data = (rng.standard_normal(tensor.shape) * std).astype(tensor.dtype, copy=False)
     return tensor
 
 
@@ -36,7 +39,7 @@ def kaiming_uniform_(tensor, rng, nonlinearity="relu"):
     fan_in, _ = _fan_in_out(tensor.shape)
     gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
     bound = gain * math.sqrt(3.0 / fan_in)
-    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape).astype(tensor.dtype, copy=False)
     return tensor
 
 
@@ -44,7 +47,7 @@ def xavier_normal_(tensor, rng):
     """Glorot-normal init: std = sqrt(2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_out(tensor.shape)
     std = math.sqrt(2.0 / (fan_in + fan_out))
-    tensor.data = rng.standard_normal(tensor.shape) * std
+    tensor.data = (rng.standard_normal(tensor.shape) * std).astype(tensor.dtype, copy=False)
     return tensor
 
 
@@ -52,13 +55,13 @@ def xavier_uniform_(tensor, rng):
     """Glorot-uniform init: bound = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_out(tensor.shape)
     bound = math.sqrt(6.0 / (fan_in + fan_out))
-    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape).astype(tensor.dtype, copy=False)
     return tensor
 
 
 def constant_(tensor, value):
     """Fill with a constant."""
-    tensor.data = np.full(tensor.shape, float(value))
+    tensor.data = np.full(tensor.shape, float(value), dtype=tensor.dtype)
     return tensor
 
 
@@ -75,5 +78,5 @@ def ones_(tensor):
 def linear_bias_(tensor, rng, fan_in):
     """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
     bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
-    tensor.data = rng.uniform(-bound, bound, size=tensor.shape)
+    tensor.data = rng.uniform(-bound, bound, size=tensor.shape).astype(tensor.dtype, copy=False)
     return tensor

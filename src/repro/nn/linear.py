@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, default_dtype
 from . import init
 from .module import Module, Parameter
 
@@ -26,10 +26,10 @@ class Linear(Module):
         rng = rng if rng is not None else np.random.default_rng()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(np.empty((out_features, in_features)))
+        self.weight = Parameter(np.empty((out_features, in_features), dtype=default_dtype()))
         init.kaiming_uniform_(self.weight, rng)
         if bias:
-            self.bias = Parameter(np.empty(out_features))
+            self.bias = Parameter(np.empty(out_features, dtype=default_dtype()))
             init.linear_bias_(self.bias, rng, in_features)
         else:
             self.bias = None

@@ -9,7 +9,12 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, default_dtype
+
+
+def _as_buffer(array, dtype=None):
+    """Coerce buffer state to the engine dtype (or an existing buffer's)."""
+    return np.asarray(array, dtype=default_dtype() if dtype is None else dtype)
 
 
 class Parameter(Tensor):
@@ -49,15 +54,19 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name, array):
-        """Register non-trainable state (e.g. BatchNorm running stats)."""
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        """Register non-trainable state (e.g. BatchNorm running stats).
+
+        Buffers live in the engine dtype of the precision policy, like
+        parameters.
+        """
+        self._buffers[name] = _as_buffer(array)
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name, array):
         """Replace a registered buffer's value."""
         if name not in self._buffers:
             raise KeyError(f"no buffer named {name!r}")
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        self._buffers[name] = _as_buffer(array, dtype=self._buffers[name].dtype)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -131,7 +140,7 @@ class Module:
                         f"shape mismatch for {name}: "
                         f"{params[name].shape} vs {value.shape}"
                     )
-                params[name].data = value.copy().astype(np.float64)
+                params[name].data = value.astype(params[name].data.dtype)
             else:
                 if not self._load_buffer(name, value):
                     missing.append(name)

@@ -12,7 +12,7 @@ unbiased variance accumulates into the running estimate.
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, default_dtype
 from .module import Module, Parameter
 
 
@@ -23,15 +23,16 @@ class _BatchNorm(Module):
         self.eps = eps
         self.momentum = momentum
         self.affine = affine
+        dtype = default_dtype()
         if affine:
-            self.weight = Parameter(np.ones(num_features))
-            self.bias = Parameter(np.zeros(num_features))
+            self.weight = Parameter(np.ones(num_features, dtype=dtype))
+            self.bias = Parameter(np.zeros(num_features, dtype=dtype))
         else:
             self.weight = None
             self.bias = None
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
-        self.register_buffer("num_batches_tracked", np.zeros(()))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=dtype))
 
     def _axes(self):
         raise NotImplementedError
@@ -61,8 +62,8 @@ class _BatchNorm(Module):
             )
             self.set_buffer("num_batches_tracked", self.num_batches_tracked + 1)
         else:
-            mu = Tensor(self.running_mean.reshape(shape))
-            var = Tensor(self.running_var.reshape(shape))
+            mu = Tensor(self.running_mean.reshape(shape), dtype=self.running_mean.dtype)
+            var = Tensor(self.running_var.reshape(shape), dtype=self.running_var.dtype)
         x_hat = (x - mu) * (var + self.eps).pow(-0.5)
         if self.affine:
             x_hat = x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)

@@ -61,7 +61,10 @@ class Adam(Optimizer):
         for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
-            grad = np.asarray(param.grad.data, dtype=np.float64)
+            # Moments (zeros_like) live in the parameter's dtype; cast
+            # the gradient once so the whole update stays in the engine
+            # precision.
+            grad = np.asarray(param.grad.data, dtype=param.data.dtype)
             grad = self._apply_decay_to_grad(param, grad)
             m = self._exp_avg[index]
             v = self._exp_avg_sq[index]

@@ -37,7 +37,10 @@ class SGD(Optimizer):
         for index, param in enumerate(self.params):
             if param.grad is None:
                 continue
-            grad = np.asarray(param.grad.data, dtype=np.float64)
+            # Update in the parameter's own dtype: state buffers
+            # (zeros_like) already match it, so the whole step stays in
+            # the engine precision.
+            grad = np.asarray(param.grad.data, dtype=param.data.dtype)
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:

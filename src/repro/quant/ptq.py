@@ -57,17 +57,38 @@ def evaluate_quantized(model, scheme, eval_fn):
 def precision_sweep(model, eval_fn, bits_list=(3, 4, 5, 6, 7, 8), symmetric=True, per_channel=False):
     """Accuracy across a range of precisions — one Fig. 1 curve.
 
+    The model is cloned **once** and each scheme's quantized weights
+    are swapped into that clone from the original full-precision
+    weights — one ``deepcopy`` for the whole sweep instead of one per
+    precision, with results identical to quantizing a fresh copy each
+    time (every scheme quantizes the same source weights).
+
     Returns a dict with ``bits`` (list), ``accuracy`` (list, same
     order), ``full_precision`` (unquantized score) and ``max_error``
     (worst realized weight shift per precision, the Theorem 2 bound's
     left side).
     """
+    import copy
+
+    target = copy.deepcopy(model)
+    source_weights = {
+        name: getattr(module, _QUANTIZED_PARAM).data.copy()
+        for name, module in _target_modules(model)
+    }
+    target_params = [
+        (name, getattr(module, _QUANTIZED_PARAM), type(module).__name__)
+        for name, module in _target_modules(target)
+    ]
     accuracies = []
     max_errors = []
     for bits in bits_list:
         scheme = QuantScheme(bits=bits, symmetric=symmetric, per_channel=per_channel)
-        score, report = evaluate_quantized(model, scheme, eval_fn)
-        accuracies.append(score)
+        report = {}
+        for name, param, fallback in target_params:
+            w_q, info = quantize_array(source_weights[name], scheme)
+            param.data = w_q
+            report[name or fallback] = info
+        accuracies.append(eval_fn(target))
         max_errors.append(max(info["max_error"] for info in report.values()))
     return {
         "bits": list(bits_list),

@@ -23,6 +23,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..tensor import default_dtype
+
+
+def _as_float(weights):
+    """Weights as a floating array: keep their precision, or apply the
+    engine policy to non-float input (e.g. integer test fixtures)."""
+    weights = np.asarray(weights)
+    if not np.issubdtype(weights.dtype, np.floating):
+        weights = weights.astype(default_dtype())
+    return weights
+
 
 @dataclass(frozen=True)
 class QuantScheme:
@@ -60,7 +71,7 @@ def quantize_array(weights, scheme):
     realized ``||W_q - W||_inf``, which Theorem 2 bounds by
     ``delta / 2``.
     """
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = _as_float(weights)
     if weights.size == 0:
         raise ValueError("cannot quantize an empty array")
 
@@ -106,8 +117,8 @@ def _symmetric(weights, max_abs, levels):
 
 def _asymmetric(weights, low, high, levels):
     """Asymmetric uniform quantization over ``[low, high]``."""
-    low = np.asarray(low, dtype=np.float64)
-    high = np.asarray(high, dtype=np.float64)
+    low = np.asarray(low, dtype=weights.dtype)
+    high = np.asarray(high, dtype=weights.dtype)
     span = high - low
     delta = np.where(span > 0, span / (levels - 1), 1.0)
     codes = np.clip(np.round((weights - low) / delta), 0, levels - 1)
@@ -117,4 +128,4 @@ def _asymmetric(weights, low, high, levels):
 def quantization_error(weights, scheme):
     """Convenience: the elementwise error ``W_q - W``."""
     w_q, _ = quantize_array(weights, scheme)
-    return w_q - np.asarray(weights, dtype=np.float64)
+    return w_q - _as_float(weights)

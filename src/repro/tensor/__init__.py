@@ -12,12 +12,26 @@ Public API
     The array type; construction helpers ``zeros/ones/full/eye/randn``.
 ``no_grad`` / ``enable_grad`` / ``is_grad_enabled``
     Grad-mode control.
+``default_dtype`` / ``set_default_dtype`` / ``dtype_context``
+    The precision policy: the engine allocates in float32 by default
+    (``REPRO_DTYPE`` overrides), float64 on explicit request
+    (``VERIFY_DTYPE`` for verification-grade numerics).
 ``functional``-style helpers re-exported at package level:
 ``mean, var, std, logsumexp, softmax, log_softmax, where, concat,
 stack, dot, flatten_params``.
 """
 
 from ._gradmode import no_grad, enable_grad, is_grad_enabled, set_grad_enabled
+from .policy import (
+    DTYPE_ENV,
+    VERIFY_DTYPE,
+    default_dtype,
+    dtype_context,
+    dtype_from_env,
+    dtype_name,
+    resolve_dtype,
+    set_default_dtype,
+)
 from .tensor import Tensor
 from .function import Function
 from .functional import (
@@ -45,6 +59,14 @@ from .grad_check import (
 __all__ = [
     "Tensor",
     "Function",
+    "DTYPE_ENV",
+    "VERIFY_DTYPE",
+    "default_dtype",
+    "dtype_context",
+    "dtype_from_env",
+    "dtype_name",
+    "resolve_dtype",
+    "set_default_dtype",
     "no_grad",
     "enable_grad",
     "is_grad_enabled",

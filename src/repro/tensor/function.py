@@ -13,8 +13,7 @@ baseline need (gradients of gradient norms).
 import numpy as np
 
 from ._gradmode import is_grad_enabled
-
-DEFAULT_DTYPE = np.float64
+from .policy import default_dtype, resolve_dtype
 
 
 class Function:
@@ -46,8 +45,17 @@ class Function:
         tensors = tuple(Tensor.as_tensor(t) for t in tensors)
         ctx = cls()
         out_data = ctx.forward(*(t.data for t in tensors), **kwargs)
+        if out_data.dtype != tensors[0].data.dtype and np.issubdtype(
+            out_data.dtype, np.floating
+        ):
+            # Keep op outputs in the promoted dtype of their inputs so
+            # the engine dtype is stable across the graph (a forward
+            # that allocated in the wrong precision is corrected here,
+            # and explicit-float64 graphs stay float64 under a float32
+            # policy).
+            out_data = out_data.astype(np.result_type(*(t.data for t in tensors)), copy=False)
         needs_graph = is_grad_enabled() and any(t.requires_grad for t in tensors)
-        out = Tensor(out_data, requires_grad=needs_graph)
+        out = Tensor(out_data, requires_grad=needs_graph, dtype=out_data.dtype)
         if needs_graph:
             ctx.inputs = tensors
             ctx.requires_grad = True
@@ -89,8 +97,14 @@ def unbroadcast(grad, shape):
     return grad
 
 
-def as_array(value, dtype=DEFAULT_DTYPE):
-    """Coerce ``value`` to a numpy array of the engine's default dtype."""
+def as_array(value, dtype=None):
+    """Coerce ``value`` to a numpy array of the engine dtype.
+
+    ``dtype=None`` resolves to the process precision policy
+    (:mod:`repro.tensor.policy`); pass an explicit dtype to pin an array
+    to a precision regardless of the policy.
+    """
+    dtype = default_dtype() if dtype is None else resolve_dtype(dtype)
     arr = np.asarray(value)
     if arr.dtype != dtype:
         arr = arr.astype(dtype)

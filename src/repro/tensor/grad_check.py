@@ -3,10 +3,17 @@
 These utilities back the engine's test suite: every primitive op, every
 layer and the full HERO update rule are validated against central
 finite differences.
+
+Verification-grade numerics need double precision — a central
+difference with ``eps=1e-6`` is pure noise in float32 — so every
+entry point here runs the engine under
+``dtype_context(VERIFY_DTYPE)`` (float64) regardless of the ambient
+precision policy.
 """
 
 import numpy as np
 
+from .policy import VERIFY_DTYPE, dtype_context
 from .tensor import Tensor
 
 
@@ -23,31 +30,35 @@ def numerical_gradient(fn, arrays, index=0, eps=1e-6):
     index:
         Which input to differentiate.
     """
-    arrays = [np.asarray(a, dtype=np.float64).copy() for a in arrays]
-    target = arrays[index]
-    grad = np.zeros_like(target)
-    flat = target.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        up = float(fn(*[Tensor(a) for a in arrays]).data)
-        flat[i] = original - eps
-        down = float(fn(*[Tensor(a) for a in arrays]).data)
-        flat[i] = original
-        grad_flat[i] = (up - down) / (2.0 * eps)
-    return grad
+    with dtype_context(VERIFY_DTYPE):
+        arrays = [np.asarray(a, dtype=VERIFY_DTYPE).copy() for a in arrays]
+        target = arrays[index]
+        grad = np.zeros_like(target)
+        flat = target.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            up = float(fn(*[Tensor(a) for a in arrays]).data)
+            flat[i] = original - eps
+            down = float(fn(*[Tensor(a) for a in arrays]).data)
+            flat[i] = original
+            grad_flat[i] = (up - down) / (2.0 * eps)
+        return grad
 
 
 def analytic_gradient(fn, arrays, index=0):
     """Autograd gradient of scalar ``fn`` w.r.t. input ``index``."""
-    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
-    out = fn(*tensors)
-    out.backward()
-    grad = tensors[index].grad
-    if grad is None:
-        return np.zeros_like(tensors[index].data)
-    return grad.data
+    with dtype_context(VERIFY_DTYPE):
+        tensors = [
+            Tensor(np.asarray(a, dtype=VERIFY_DTYPE), requires_grad=True) for a in arrays
+        ]
+        out = fn(*tensors)
+        out.backward()
+        grad = tensors[index].grad
+        if grad is None:
+            return np.zeros_like(tensors[index].data)
+        return grad.data
 
 
 def check_gradient(fn, arrays, index=0, eps=1e-6, atol=1e-5, rtol=1e-4):
@@ -73,8 +84,8 @@ def numerical_hvp(fn, arrays, vector, index=0, eps=1e-5):
     *analytic* gradient at the shifted points, which keeps the estimate
     second-order accurate.
     """
-    arrays = [np.asarray(a, dtype=np.float64).copy() for a in arrays]
-    vector = np.asarray(vector, dtype=np.float64)
+    arrays = [np.asarray(a, dtype=VERIFY_DTYPE).copy() for a in arrays]
+    vector = np.asarray(vector, dtype=VERIFY_DTYPE)
     shifted_up = [a.copy() for a in arrays]
     shifted_up[index] = shifted_up[index] + eps * vector
     shifted_down = [a.copy() for a in arrays]
@@ -90,21 +101,24 @@ def analytic_hvp(fn, arrays, vector, index=0):
     Computes ``d/dx (grad(x) . v)`` with ``create_graph=True`` on the
     first backward pass — the same machinery HERO's training step uses.
     """
-    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
-    out = fn(*tensors)
-    out.backward(create_graph=True)
-    grad = tensors[index].grad
-    tensors[index].grad = None
-    v = Tensor(np.asarray(vector, dtype=np.float64))
-    inner = (grad * v).sum()
-    if inner._ctx is None and not inner.requires_grad:
-        # The gradient is constant (linear function): Hessian is zero.
-        return np.zeros_like(tensors[index].data)
-    inner.backward()
-    hvp = tensors[index].grad
-    if hvp is None:
-        return np.zeros_like(tensors[index].data)
-    return hvp.data
+    with dtype_context(VERIFY_DTYPE):
+        tensors = [
+            Tensor(np.asarray(a, dtype=VERIFY_DTYPE), requires_grad=True) for a in arrays
+        ]
+        out = fn(*tensors)
+        out.backward(create_graph=True)
+        grad = tensors[index].grad
+        tensors[index].grad = None
+        v = Tensor(np.asarray(vector, dtype=VERIFY_DTYPE))
+        inner = (grad * v).sum()
+        if inner._ctx is None and not inner.requires_grad:
+            # The gradient is constant (linear function): Hessian is zero.
+            return np.zeros_like(tensors[index].data)
+        inner.backward()
+        hvp = tensors[index].grad
+        if hvp is None:
+            return np.zeros_like(tensors[index].data)
+        return hvp.data
 
 
 def check_hvp(fn, arrays, vector, index=0, eps=1e-5, atol=1e-4, rtol=1e-3):

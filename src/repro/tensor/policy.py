@@ -1,0 +1,116 @@
+"""The engine precision policy — one process-level default dtype.
+
+Every allocation in the engine (tensor constructors, parameter init,
+optimizer state, dataset arrays, quantizer grids) flows through this
+module instead of hardcoding ``np.float64``.  The default is
+**float32**: at this reproduction's scale the engine is memory-bandwidth
+bound, and single precision roughly halves the bytes every
+forward/backward pass moves.  Double precision remains a first-class
+citizen — verification-grade numerics (finite-difference grad checks,
+exact-HVP ablations, Lanczos/power-iteration eigensolves) explicitly
+request :data:`VERIFY_DTYPE`.
+
+Resolution order for the process default:
+
+1. ``set_default_dtype()`` / ``dtype_context()`` calls at runtime;
+2. the ``REPRO_DTYPE`` environment variable at import time
+   (``float32``/``float64``, aliases ``f32``/``f64``/``single``/
+   ``double``);
+3. the built-in default, float32.
+
+``dtype_context`` is re-entrant and exception-safe; sweep workers
+inherit the policy through the environment (and
+:func:`repro.experiments.sweep.run_sweep` pins each config's dtype
+before dispatch so parent and workers agree on cache keys).
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+#: Environment variable naming the process-level engine dtype.
+DTYPE_ENV = "REPRO_DTYPE"
+
+#: Precision used by verification-grade numerics regardless of the
+#: engine policy (grad checks, exact HVP, eigensolves).
+VERIFY_DTYPE = np.dtype(np.float64)
+
+#: Accepted spellings for each supported engine dtype.
+_DTYPE_ALIASES = {
+    "float32": np.float32,
+    "f32": np.float32,
+    "single": np.float32,
+    "float64": np.float64,
+    "f64": np.float64,
+    "double": np.float64,
+}
+
+
+def resolve_dtype(dtype):
+    """Normalize ``dtype`` (name, numpy dtype or ``None``) to a dtype.
+
+    ``None`` resolves to the current engine default.  Anything that is
+    not a supported floating dtype raises ``ValueError`` — the engine
+    only computes in float32 or float64.
+    """
+    if dtype is None:
+        return default_dtype()
+    if isinstance(dtype, str):
+        try:
+            return np.dtype(_DTYPE_ALIASES[dtype.strip().lower()])
+        except KeyError:
+            raise ValueError(
+                f"unsupported engine dtype {dtype!r}; "
+                f"use one of {sorted(_DTYPE_ALIASES)}"
+            ) from None
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(
+            f"unsupported engine dtype {resolved}; engine computes in float32/float64"
+        )
+    return resolved
+
+
+def dtype_from_env(environ=None):
+    """Engine dtype named by ``REPRO_DTYPE`` (float32 when unset)."""
+    environ = os.environ if environ is None else environ
+    name = environ.get(DTYPE_ENV)
+    return resolve_dtype(name) if name else np.dtype(np.float32)
+
+
+_default_dtype = dtype_from_env()
+
+
+def default_dtype():
+    """The current process-level engine dtype."""
+    return _default_dtype
+
+
+def dtype_name(dtype=None):
+    """Canonical string name (``"float32"``/``"float64"``) of a dtype."""
+    return resolve_dtype(dtype).name
+
+
+def set_default_dtype(dtype):
+    """Set the process-level engine dtype; returns the previous one."""
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = resolve_dtype(dtype)
+    return previous
+
+
+@contextmanager
+def dtype_context(dtype):
+    """Temporarily run the engine under ``dtype``.
+
+    ::
+
+        with dtype_context("float64"):
+            check_gradient(fn, arrays)   # verification-grade numerics
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield default_dtype()
+    finally:
+        set_default_dtype(previous)

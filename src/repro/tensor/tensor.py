@@ -14,7 +14,8 @@ The design follows the PyTorch model closely:
 import numpy as np
 
 from ._gradmode import no_grad, enable_grad
-from .function import as_array, DEFAULT_DTYPE
+from .function import as_array
+from .policy import resolve_dtype
 
 
 class Tensor:
@@ -23,18 +24,22 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``numpy.ndarray``.  Stored as float64
-        by default (numeric robustness matters more than speed at the
-        scale of this reproduction).
+        Anything convertible to a ``numpy.ndarray``.  Stored in the
+        engine dtype set by the precision policy
+        (:mod:`repro.tensor.policy`; float32 unless overridden) — pass
+        ``dtype`` to pin a tensor to another precision, e.g. float64
+        for verification-grade numerics.
     requires_grad:
         When ``True`` the tensor is a graph leaf that accumulates into
         ``.grad`` during ``backward()``.
+    dtype:
+        Optional explicit dtype; ``None`` follows the policy.
     """
 
     __slots__ = ("data", "requires_grad", "grad", "_ctx")
 
-    def __init__(self, data, requires_grad=False):
-        self.data = as_array(data)
+    def __init__(self, data, requires_grad=False, dtype=None):
+        self.data = as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad)
         self.grad = None
         self._ctx = None
@@ -50,27 +55,35 @@ class Tensor:
         return Tensor(value)
 
     @staticmethod
-    def zeros(*shape, requires_grad=False):
-        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    def zeros(*shape, requires_grad=False, dtype=None):
+        dtype = resolve_dtype(dtype)
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
-    def ones(*shape, requires_grad=False):
-        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    def ones(*shape, requires_grad=False, dtype=None):
+        dtype = resolve_dtype(dtype)
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
-    def full(shape, fill_value, requires_grad=False):
+    def full(shape, fill_value, requires_grad=False, dtype=None):
+        dtype = resolve_dtype(dtype)
         return Tensor(
-            np.full(shape, fill_value, dtype=DEFAULT_DTYPE), requires_grad=requires_grad
+            np.full(shape, fill_value, dtype=dtype), requires_grad=requires_grad, dtype=dtype
         )
 
     @staticmethod
-    def eye(n, requires_grad=False):
-        return Tensor(np.eye(n, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    def eye(n, requires_grad=False, dtype=None):
+        dtype = resolve_dtype(dtype)
+        return Tensor(np.eye(n, dtype=dtype), requires_grad=requires_grad, dtype=dtype)
 
     @staticmethod
-    def randn(*shape, rng=None, requires_grad=False):
+    def randn(*shape, rng=None, requires_grad=False, dtype=None):
         rng = rng if rng is not None else np.random.default_rng()
-        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+        # Draw in float64 then cast: the sample stream is identical for
+        # every engine dtype, so float32/float64 runs stay comparable.
+        dtype = resolve_dtype(dtype)
+        data = rng.standard_normal(shape).astype(dtype, copy=False)
+        return Tensor(data, requires_grad=requires_grad, dtype=dtype)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -118,7 +131,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def detach(self):
         """Return a new tensor sharing data but cut from the graph."""
-        out = Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
         return out
 
     def clone(self):
@@ -129,7 +142,7 @@ class Tensor:
 
     def copy_data(self):
         """Return a detached tensor with a *copied* numpy buffer."""
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self):
         self.grad = None
@@ -154,7 +167,7 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
-            grad = Tensor(np.ones_like(self.data))
+            grad = Tensor(np.ones_like(self.data), dtype=self.data.dtype)
         else:
             grad = Tensor.as_tensor(grad)
 

@@ -35,7 +35,9 @@ class TestForward:
         ours = nn.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
         ref = reference_conv(x, w, b, stride=stride, padding=padding)
         assert ours.shape == ref.shape
-        assert np.allclose(ours.data, ref)
+        # float32 engine vs scipy's float64 reference: tolerance sized
+        # to single-precision accumulation over the receptive field.
+        assert np.allclose(ours.data, ref, rtol=1e-4, atol=1e-5)
 
     def test_1x1_conv_is_channel_mix(self, rng):
         x = rng.standard_normal((2, 3, 4, 4))

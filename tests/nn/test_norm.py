@@ -12,7 +12,7 @@ class TestBatchNorm2d:
         bn = nn.BatchNorm2d(3)
         x = rng.standard_normal((8, 3, 4, 4)) * 3 + 2
         out = bn(Tensor(x)).data
-        assert np.allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-9)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-6)
         assert np.allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-3)
 
     def test_affine_params_applied(self, rng):
@@ -21,16 +21,16 @@ class TestBatchNorm2d:
         bn.bias.data = np.array([1.0, -1.0, 0.5])
         x = rng.standard_normal((8, 3, 4, 4))
         out = bn(Tensor(x)).data
-        assert np.allclose(out.mean(axis=(0, 2, 3)), [1.0, -1.0, 0.5], atol=1e-9)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), [1.0, -1.0, 0.5], atol=1e-6)
 
     def test_running_stats_updated(self, rng):
         bn = nn.BatchNorm2d(2, momentum=0.5)
         x = rng.standard_normal((16, 2, 3, 3)) * 2 + 5
         bn(Tensor(x))
-        assert np.allclose(bn.running_mean, 0.5 * x.mean(axis=(0, 2, 3)), atol=1e-9)
+        assert np.allclose(bn.running_mean, 0.5 * x.mean(axis=(0, 2, 3)), atol=1e-6)
         count = 16 * 9
         unbiased = x.var(axis=(0, 2, 3)) * count / (count - 1)
-        assert np.allclose(bn.running_var, 0.5 * 1.0 + 0.5 * unbiased, atol=1e-9)
+        assert np.allclose(bn.running_var, 0.5 * 1.0 + 0.5 * unbiased, atol=1e-6)
         assert bn.num_batches_tracked == 1
 
     def test_eval_uses_running_stats(self, rng):
@@ -82,14 +82,14 @@ class TestBatchNorm1d:
         bn = nn.BatchNorm1d(5)
         x = rng.standard_normal((16, 5)) * 2 + 1
         out = bn(Tensor(x)).data
-        assert np.allclose(out.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(out.mean(axis=0), 0, atol=1e-6)
 
     def test_3d_input(self, rng):
         bn = nn.BatchNorm1d(5)
         x = rng.standard_normal((8, 5, 7))
         out = bn(Tensor(x)).data
         assert out.shape == x.shape
-        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-9)
+        assert np.allclose(out.mean(axis=(0, 2)), 0, atol=1e-6)
 
     def test_rejects_4d(self, rng):
         with pytest.raises(ValueError):

@@ -13,14 +13,14 @@ class TestLayerNorm:
         ln = nn.LayerNorm(8)
         x = rng.standard_normal((4, 8)) * 3 + 1
         out = ln(Tensor(x)).data
-        assert np.allclose(out.mean(axis=-1), 0, atol=1e-9)
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-6)
         assert np.allclose(out.std(axis=-1), 1, atol=1e-3)
 
     def test_multi_dim_normalized_shape(self, rng):
         ln = nn.LayerNorm((3, 4))
         x = rng.standard_normal((5, 3, 4))
         out = ln(Tensor(x)).data
-        assert np.allclose(out.reshape(5, -1).mean(axis=1), 0, atol=1e-9)
+        assert np.allclose(out.reshape(5, -1).mean(axis=1), 0, atol=1e-6)
 
     def test_affine(self, rng):
         ln = nn.LayerNorm(4)
@@ -28,7 +28,7 @@ class TestLayerNorm:
         ln.bias.data = np.array([1.0, 1.0, 1.0, 1.0])
         x = rng.standard_normal((3, 4))
         out = ln(Tensor(x)).data
-        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-9)
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
 
     def test_shape_mismatch_raises(self, rng):
         with pytest.raises(ValueError):
@@ -54,13 +54,13 @@ class TestGroupNorm:
         x = rng.standard_normal((3, 4, 5, 5)) * 2 + 3
         out = gn(Tensor(x)).data
         grouped = out.reshape(3, 2, 2, 5, 5)
-        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0, atol=1e-9)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0, atol=1e-6)
 
     def test_group_of_one_is_instance_norm(self, rng):
         gn = nn.GroupNorm(4, 4)
         x = rng.standard_normal((2, 4, 3, 3))
         out = gn(Tensor(x)).data
-        assert np.allclose(out.mean(axis=(2, 3)), 0, atol=1e-9)
+        assert np.allclose(out.mean(axis=(2, 3)), 0, atol=1e-6)
 
     def test_validation(self, rng):
         with pytest.raises(ValueError):

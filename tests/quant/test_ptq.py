@@ -91,6 +91,38 @@ class TestSweep:
         assert all(0 <= a <= 1 for a in sweep["accuracy"])
         assert sweep["max_error"][0] >= sweep["max_error"][2]  # 2-bit worse than 8-bit
 
+    def test_precision_sweep_matches_per_scheme_quantization(self, rng):
+        """The batched sweep (one clone, weights swapped per scheme)
+        must agree exactly with quantizing a fresh copy per scheme."""
+        model = small_model()
+        x = rng.standard_normal((8, 3, 8, 8))
+        y = rng.integers(0, 4, 8)
+
+        def eval_fn(m):
+            m.eval()
+            from repro.tensor import no_grad
+
+            with no_grad():
+                logits = m(Tensor(x)).data
+            return float((logits.argmax(1) == y).mean())
+
+        bits_list = (2, 3, 4, 8)
+        sweep = precision_sweep(model, eval_fn, bits_list=bits_list)
+        for i, bits in enumerate(bits_list):
+            score, report = evaluate_quantized(model, QuantScheme(bits), eval_fn)
+            assert sweep["accuracy"][i] == score
+            assert sweep["max_error"][i] == max(
+                info["max_error"] for info in report.values()
+            )
+        assert sweep["full_precision"] == eval_fn(model)
+
+    def test_precision_sweep_leaves_model_untouched(self):
+        model = small_model()
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        precision_sweep(model, lambda m: 0.0, bits_list=(2, 4))
+        for n, p in model.named_parameters():
+            assert np.array_equal(p.data, before[n]), n
+
     def test_evaluate_quantized_eval_fn_called_on_copy(self):
         model = small_model()
         captured = []

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, check_gradient, concat, where
+from repro.tensor import Tensor, check_gradient, concat, default_dtype, dtype_context, where
 
 
 class TestScalarsAndEmptyish:
@@ -44,7 +44,9 @@ class TestBoundaryValues:
         assert np.allclose(a.grad.data, [0.0, 4.0])
 
     def test_log_near_zero_is_large_but_finite(self):
-        a = Tensor(np.array([1e-300]))
+        # 1e-300 needs double precision — pin the tensor to float64
+        # explicitly (the policy default is float32).
+        a = Tensor(np.array([1e-300]), dtype=np.float64)
         assert np.isfinite(a.log().data[0])
 
     def test_relu_at_exact_zero_has_zero_grad(self):
@@ -108,11 +110,15 @@ class TestWhereEdgeCases:
 class TestDtypeHandling:
     def test_int_input_promoted(self):
         t = Tensor([1, 2, 3])
-        assert t.dtype == np.float64
+        assert t.dtype == default_dtype()
+
+    def test_int_input_promoted_under_float64_policy(self):
+        with dtype_context(np.float64):
+            assert Tensor([1, 2, 3]).dtype == np.float64
 
     def test_bool_mask_multiplication(self, rng):
         a = Tensor(rng.standard_normal(4), requires_grad=True)
-        mask = Tensor((a.data > 0).astype(np.float64))
+        mask = Tensor((a.data > 0).astype(a.dtype))
         (a * mask).sum().backward()
         assert np.allclose(a.grad.data, mask.data)
 

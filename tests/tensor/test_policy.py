@@ -1,0 +1,181 @@
+"""The precision policy: resolution, overrides, and engine threading."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    DTYPE_ENV,
+    Tensor,
+    VERIFY_DTYPE,
+    analytic_gradient,
+    default_dtype,
+    dtype_context,
+    dtype_from_env,
+    dtype_name,
+    resolve_dtype,
+    set_default_dtype,
+)
+
+
+@pytest.fixture(autouse=True)
+def _float32_policy():
+    """Pin the built-in default so the module also passes under an
+    ambient ``REPRO_DTYPE=float64`` run (env handling is covered by the
+    subprocess test below)."""
+    previous = set_default_dtype("float32")
+    yield
+    set_default_dtype(previous)
+
+
+class TestResolution:
+    def test_default_is_float32(self):
+        assert default_dtype() == np.float32
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("float32", np.float32),
+            ("f32", np.float32),
+            ("single", np.float32),
+            ("Float64", np.float64),
+            ("f64", np.float64),
+            ("double", np.float64),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert resolve_dtype(alias) == expected
+
+    def test_numpy_dtypes_accepted(self):
+        assert resolve_dtype(np.float64) == np.float64
+        assert resolve_dtype(np.dtype(np.float32)) == np.float32
+
+    def test_none_resolves_to_policy(self):
+        assert resolve_dtype(None) == default_dtype()
+        with dtype_context("float64"):
+            assert resolve_dtype(None) == np.float64
+
+    @pytest.mark.parametrize("bad", ["float16", "int32", "bfloat16", ""])
+    def test_unsupported_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            resolve_dtype(bad)
+
+    def test_unsupported_numpy_dtype_raises(self):
+        with pytest.raises(ValueError):
+            resolve_dtype(np.int64)
+
+    def test_dtype_name(self):
+        assert dtype_name("f64") == "float64"
+        assert dtype_name(None) == default_dtype().name
+
+
+class TestOverrides:
+    def test_set_default_returns_previous(self):
+        previous = set_default_dtype("float64")
+        try:
+            assert previous == np.float32
+            assert default_dtype() == np.float64
+        finally:
+            set_default_dtype(previous)
+        assert default_dtype() == np.float32
+
+    def test_context_restores(self):
+        with dtype_context("float64") as active:
+            assert active == np.float64
+            assert default_dtype() == np.float64
+        assert default_dtype() == np.float32
+
+    def test_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with dtype_context("float64"):
+                raise RuntimeError("boom")
+        assert default_dtype() == np.float32
+
+    def test_context_nests(self):
+        with dtype_context("float64"):
+            with dtype_context("float32"):
+                assert default_dtype() == np.float32
+            assert default_dtype() == np.float64
+
+    def test_env_var_resolution(self):
+        assert dtype_from_env({}) == np.float32
+        assert dtype_from_env({DTYPE_ENV: "float64"}) == np.float64
+        with pytest.raises(ValueError):
+            dtype_from_env({DTYPE_ENV: "float128"})
+
+    def test_env_var_applies_at_import(self):
+        code = (
+            "from repro.tensor import default_dtype; "
+            "print(default_dtype().name)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, DTYPE_ENV: "float64"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "float64"
+
+
+class TestEngineThreading:
+    def test_tensor_follows_policy(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        with dtype_context("float64"):
+            assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_constructors_follow_policy(self):
+        for make in (
+            lambda: Tensor.zeros(2, 2),
+            lambda: Tensor.ones(2, 2),
+            lambda: Tensor.full((2, 2), 3.0),
+            lambda: Tensor.eye(2),
+            lambda: Tensor.randn(2, 2, rng=np.random.default_rng(0)),
+        ):
+            assert make().dtype == np.float32
+            with dtype_context("float64"):
+                assert make().dtype == np.float64
+
+    def test_randn_honors_policy(self):
+        # Regression: rng.standard_normal always yields float64; randn
+        # must cast to the engine dtype.
+        t = Tensor.randn(4, rng=np.random.default_rng(0))
+        assert t.dtype == default_dtype() == np.float32
+
+    def test_randn_stream_shared_across_dtypes(self):
+        t32 = Tensor.randn(8, rng=np.random.default_rng(7))
+        with dtype_context("float64"):
+            t64 = Tensor.randn(8, rng=np.random.default_rng(7))
+        assert np.allclose(t32.data, t64.data, atol=1e-7)
+
+    def test_explicit_dtype_wins_over_policy(self):
+        assert Tensor.zeros(2, dtype="float64").dtype == np.float64
+        assert Tensor([1.0], dtype=np.float64).dtype == np.float64
+
+    def test_ops_stay_in_engine_dtype(self):
+        a = Tensor.randn(3, 3, rng=np.random.default_rng(0), requires_grad=True)
+        out = ((a @ a).relu().sum() * 2.0).sqrt()
+        assert out.dtype == np.float32
+        out.backward()
+        assert a.grad.dtype == np.float32
+
+    def test_mixed_precision_promotes(self):
+        lo = Tensor.ones(3)
+        hi = Tensor.ones(3, dtype="float64")
+        assert (lo + hi).dtype == np.float64
+
+    def test_grad_check_harness_stays_float64(self):
+        # Verification-grade numerics force VERIFY_DTYPE regardless of
+        # the ambient float32 policy.
+        seen = []
+
+        def fn(t):
+            seen.append(t.dtype)
+            return (t * t).sum()
+
+        grad = analytic_gradient(fn, [np.array([1.0, 2.0], dtype=np.float32)])
+        assert grad.dtype == VERIFY_DTYPE
+        assert all(d == VERIFY_DTYPE for d in seen)

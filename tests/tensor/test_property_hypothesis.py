@@ -63,8 +63,10 @@ def test_logsumexp_bounds(a):
         a = a[None, :]
     lse = logsumexp(Tensor(a), axis=1).data
     mx = a.max(axis=1)
-    assert np.all(lse >= mx - 1e-9)
-    assert np.all(lse <= mx + np.log(a.shape[1]) + 1e-9)
+    # Tolerance follows the engine precision (float32 by default).
+    tol = 1e-9 if lse.dtype == np.float64 else 1e-6
+    assert np.all(lse >= mx - tol)
+    assert np.all(lse <= mx + np.log(a.shape[1]) + tol)
 
 
 @settings(max_examples=40, deadline=None)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, default_dtype
 
 
 class TestConstructors:
@@ -31,6 +31,10 @@ class TestConstructors:
 
     def test_dtype_coercion(self):
         t = Tensor(np.array([1, 2, 3], dtype=np.int32))
+        assert t.dtype == default_dtype()
+
+    def test_explicit_dtype_overrides_policy(self):
+        t = Tensor(np.array([1.0, 2.0]), dtype=np.float64)
         assert t.dtype == np.float64
 
 
