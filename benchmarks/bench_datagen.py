@@ -1,0 +1,170 @@
+"""Dataset-generation pipeline benchmark: loop vs vectorized vs sharded.
+
+The seed generator built every image in a per-sample Python loop; the
+pipeline (``repro.data.pipeline``) vectorizes the sampler, shards large
+datasets across processes, and memoizes whole datasets under an on-disk
+cache that sweep workers memory-map.  This bench quantifies each stage
+on the default profile:
+
+* ``loop`` — the seed per-image sampler (kept as the parity reference).
+* ``vectorized`` — the batched sampler, bit-identical stream to the loop.
+* ``sharded`` — the v2 sharded generator (engine-dtype native, per-shard
+  spawned streams), serial and with a worker pool.
+* ``cache_store`` / ``cache_load`` — cold publish and warm memory-map of
+  the dataset cache (a warm sweep performs zero generation work).
+
+Standalone smoke mode (no pytest-benchmark needed — used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_datagen.py --train-size 50000 \
+        --json results/datagen.json
+"""
+
+import argparse
+import gc
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.data import generate_dataset, generate_synthetic, load_or_generate, resolve_spec
+from repro.data.synthetic import _class_prototypes, _sample_images, _sample_images_loop, _split_labels
+
+PROFILE = "cifar10_like"
+
+
+def _setup(train_size):
+    spec = resolve_spec(PROFILE, train_size=train_size)
+    prototypes = _class_prototypes(spec, np.random.default_rng(spec.seed))
+    labels = _split_labels(spec, spec.train_size, np.random.default_rng(spec.seed + 1))
+    return spec, prototypes, labels
+
+
+def generate_dataset_loop(spec):
+    """Full dataset generation exactly as the seed code did it.
+
+    Prototypes plus both splits drawn with the per-image loop sampler
+    on the legacy streams — the like-for-like baseline for every
+    pipeline variant below (same work, same outputs as the v1 path).
+    """
+    prototypes = _class_prototypes(spec, np.random.default_rng(spec.seed))
+    splits = []
+    for offset, total in ((1, spec.train_size), (2, spec.test_size)):
+        rng = np.random.default_rng(spec.seed + offset)
+        labels = _split_labels(spec, total, rng)
+        splits.append((_sample_images_loop(spec, prototypes, labels, rng), labels))
+    return splits
+
+
+# The pytest-benchmark datagen axis lives in benchmarks/bench_engine.py;
+# this module is the standalone smoke tool CI runs.
+def _best_of(fn, rounds=3, warmup=1):
+    """Minimum wall-clock of ``rounds`` runs (after ``warmup`` unmeasured ones).
+
+    Dataset generation is deterministic, so the minimum is the right
+    statistic: every run does identical work and anything above the
+    minimum is scheduler/cache interference.
+    """
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    times = []
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def run_smoke(train_size=50_000, workers=None, rounds=3, out=print):
+    """Time every pipeline stage (best of ``rounds``); returns a JSON dict.
+
+    ``speedups`` are ratios of the seed loop's sampling time to each
+    pipeline variant's time for the same work (the acceptance number is
+    ``speedups["sharded"]``); cache timings are absolute seconds.
+    """
+    workers = workers or (os.cpu_count() or 1)
+    spec, prototypes, labels = _setup(train_size)
+    results = {
+        "profile": PROFILE,
+        "train_size": spec.train_size,
+        "workers": workers,
+        "rounds": rounds,
+    }
+
+    t_shard, _ = _best_of(lambda: generate_dataset(spec, workers=1), rounds)
+    t_pool = None
+    if workers > 1:
+        t_pool, _ = _best_of(lambda: generate_dataset(spec, workers=workers), rounds)
+
+    # Sampler-level parity check (cheap: one small draw, exact equality).
+    small = labels[:2048]
+    reference = _sample_images_loop(spec, prototypes, small, np.random.default_rng(1))
+    vectorized = _sample_images(spec, prototypes, small, np.random.default_rng(1))
+    assert np.array_equal(reference, vectorized), "vectorized sampler lost stream parity"
+    del reference, vectorized
+
+    # Every timed variant does the same full-dataset work (prototypes,
+    # label shuffles, both splits) and gets the same warmup treatment,
+    # so the reported ratios compare like with like.
+    t_vec, _ = _best_of(lambda: generate_synthetic(spec), rounds)
+    t_loop, _ = _best_of(lambda: generate_dataset_loop(spec), rounds)
+
+    out(f"seed loop:            {t_loop:8.3f}s  ({spec.train_size}+{spec.test_size} samples)")
+    out(f"vectorized (parity):  {t_vec:8.3f}s  -> {t_loop / t_vec:.1f}x")
+    out(f"sharded, serial:      {t_shard:8.3f}s  -> {t_loop / t_shard:.1f}x")
+    if t_pool is not None:
+        out(f"sharded, {workers} workers:  {t_pool:8.3f}s  -> {t_loop / t_pool:.1f}x")
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-datagen-cache.")
+    try:
+        start = time.perf_counter()
+        load_or_generate(spec, cache_dir=cache_dir, workers=workers)
+        t_store = time.perf_counter() - start
+        start = time.perf_counter()
+        load_or_generate(spec, cache_dir=cache_dir, workers=workers)
+        t_load = time.perf_counter() - start
+        out(f"cache cold store:     {t_store:8.3f}s")
+        out(f"cache warm mmap load: {t_load:8.3f}s  (zero generation work)")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    best_sharded = min(t_shard, t_pool) if t_pool is not None else t_shard
+    results["runs"] = {
+        "loop_seconds": t_loop,
+        "vectorized_seconds": t_vec,
+        "sharded_serial_seconds": t_shard,
+        "sharded_pool_seconds": t_pool,
+        "cache_store_seconds": t_store,
+        "cache_load_seconds": t_load,
+    }
+    results["speedups"] = {
+        "vectorized": t_loop / t_vec,
+        "sharded": t_loop / best_sharded,
+    }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--train-size", type=int, default=50_000, help="samples to generate (default: 50k)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool size for the sharded pass"
+    )
+    parser.add_argument("--json", default=None, help="write timings to this JSON path")
+    args = parser.parse_args(argv)
+    results = run_smoke(train_size=args.train_size, workers=args.workers)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"timings -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

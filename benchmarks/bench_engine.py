@@ -2,13 +2,17 @@
 
 Not a paper artifact, but the substrate's cost model is what every
 experiment above stands on: forward, backward, and double-backward
-passes of the convolutional stack, plus the PTQ sweep primitives.
+passes of the convolutional stack, the PTQ sweep primitives, and the
+dataset-generation pipeline that feeds them (see
+``benchmarks/bench_datagen.py`` for the full datagen axis).
 """
 
 import numpy as np
 import pytest
 
 from repro import nn
+from repro.data import generate_dataset, resolve_spec
+from repro.data.synthetic import _class_prototypes, _sample_images, _sample_images_loop, _split_labels
 from repro.models import create_model
 from repro.quant import QuantScheme, quantize_array
 from repro.tensor import Tensor
@@ -73,4 +77,33 @@ def test_quantize_large_tensor(benchmark):
     scheme = QuantScheme(4)
     benchmark.pedantic(
         lambda: quantize_array(w, scheme), rounds=10, iterations=1, warmup_rounds=1
+    )
+
+
+# ----------------------------------------------------------------------
+# Dataset generation (the bench_datagen axis at engine-bench scale)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def datagen_setup():
+    spec = resolve_spec("cifar10_like", train_size=8192)
+    prototypes = _class_prototypes(spec, np.random.default_rng(spec.seed))
+    labels = _split_labels(spec, spec.train_size, np.random.default_rng(spec.seed + 1))
+    return spec, prototypes, labels
+
+
+@pytest.mark.parametrize("sampler", ["loop", "vectorized"])
+def test_datagen_sampler(benchmark, datagen_setup, sampler):
+    spec, prototypes, labels = datagen_setup
+    fn = _sample_images_loop if sampler == "loop" else _sample_images
+
+    def draw():
+        return fn(spec, prototypes, labels, np.random.default_rng(spec.seed + 1))
+
+    benchmark.pedantic(draw, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_datagen_sharded(benchmark):
+    spec = resolve_spec("cifar10_like", train_size=50_000)
+    benchmark.pedantic(
+        lambda: generate_dataset(spec), rounds=3, iterations=1, warmup_rounds=1
     )

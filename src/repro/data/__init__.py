@@ -7,11 +7,29 @@ from .synthetic import (
     generate_synthetic,
     make_dataset,
 )
+from .pipeline import (
+    DEFAULT_SHARD_SIZE,
+    dataset_cache_dir,
+    dataset_cache_key,
+    generate_dataset,
+    load_or_generate,
+    plan_shards,
+    resolve_spec,
+    warm_dataset,
+)
 from .toy import two_moons, spirals, gaussian_blobs, train_test_split
 from .augment import random_crop, random_horizontal_flip, standard_augment
 from .noisy_labels import corrupt_symmetric, corrupt_dataset
 
 __all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "dataset_cache_dir",
+    "dataset_cache_key",
+    "generate_dataset",
+    "load_or_generate",
+    "plan_shards",
+    "resolve_spec",
+    "warm_dataset",
     "ArrayDataset",
     "DataLoader",
     "SyntheticSpec",

@@ -136,14 +136,14 @@ def _class_prototypes(spec, rng):
     return prototypes
 
 
-def _sample_images(spec, prototypes, labels, rng):
-    """Draw one image per label: jittered prototype + interference + noise."""
+def _sample_params(spec, labels, rng):
+    """Draw the per-sample randomness shared by both sampler variants.
+
+    Every stochastic choice (interference class, amplitude, mix weight,
+    shifts) is drawn here in batched calls, so the loop and vectorized
+    samplers consume *exactly* the same generator stream.
+    """
     count = len(labels)
-    size = spec.image_size
-    # Allocate the (large) sample array directly in the engine dtype;
-    # the float64 prototype mixture and noise draws cast on store, so
-    # the random stream is shared across precision policies.
-    images = np.empty((count, spec.channels, size, size), dtype=default_dtype())
     other = rng.integers(0, spec.num_classes, size=count)
     # Make sure interference comes from a *different* class.
     clash = other == labels
@@ -152,6 +152,20 @@ def _sample_images(spec, prototypes, labels, rng):
     mix = spec.interference * rng.random(count)
     shifts_y = rng.integers(-spec.max_shift, spec.max_shift + 1, size=count)
     shifts_x = rng.integers(-spec.max_shift, spec.max_shift + 1, size=count)
+    return other, amps, mix, shifts_y, shifts_x
+
+
+def _sample_images_loop(spec, prototypes, labels, rng):
+    """Reference sampler: one image per loop iteration (the seed code).
+
+    Kept as the executable specification of the generator's stream —
+    the parity tests assert :func:`_sample_images` reproduces it bit
+    for bit, and ``bench_datagen`` uses it as the speedup baseline.
+    """
+    count = len(labels)
+    size = spec.image_size
+    images = np.empty((count, spec.channels, size, size), dtype=default_dtype())
+    other, amps, mix, shifts_y, shifts_x = _sample_params(spec, labels, rng)
     for i in range(count):
         img = amps[i] * prototypes[labels[i]] + mix[i] * prototypes[other[i]]
         if shifts_y[i] or shifts_x[i]:
@@ -159,6 +173,64 @@ def _sample_images(spec, prototypes, labels, rng):
         images[i] = img
     images += spec.noise * rng.standard_normal(images.shape)
     return images
+
+
+def _sample_images(spec, prototypes, labels, rng):
+    """Draw one image per label: jittered prototype + interference + noise.
+
+    Vectorized over the whole batch — prototype mixing is two fancy
+    indexes plus broadcast multiplies, and the per-image circular shift
+    is a single batched gather (roll via modular index arithmetic, no
+    per-image ``np.roll``).  Bit-identical to :func:`_sample_images_loop`:
+    the RNG draws, the float64 mixture arithmetic and the final cast to
+    the engine dtype all happen in the same order.
+    """
+    count = len(labels)
+    size = spec.image_size
+    other, amps, mix, shifts_y, shifts_x = _sample_params(spec, labels, rng)
+    # Mixture in float64 (prototypes' dtype), exactly as the loop's
+    # per-image `amps[i] * proto + mix[i] * proto`.
+    mixed = (
+        amps[:, None, None, None] * prototypes[labels]
+        + mix[:, None, None, None] * prototypes[other]
+    )
+    # Batched circular shift: np.roll(img, s)[r] == img[(r - s) % size],
+    # expressed as one advanced-indexing gather over the batch.
+    grid = np.arange(size)
+    rows = (grid[None, :] - shifts_y[:, None]) % size
+    cols = (grid[None, :] - shifts_x[:, None]) % size
+    shifted = mixed[
+        np.arange(count)[:, None, None, None],
+        np.arange(spec.channels)[None, :, None, None],
+        rows[:, None, :, None],
+        cols[:, None, None, :],
+    ]
+    # Cast to the engine dtype on store (the loop casts per image; one
+    # batched cast produces the same values), then add pixel noise drawn
+    # in the identical single rng call.
+    images = shifted.astype(default_dtype())
+    images += spec.noise * rng.standard_normal(images.shape)
+    return images
+
+
+def _split_labels(spec, total, split_rng):
+    """Near-uniform class labels for one split, shuffled by ``split_rng``."""
+    counts = spec.class_counts(total)
+    labels = np.repeat(np.arange(spec.num_classes), counts)
+    split_rng.shuffle(labels)
+    return labels
+
+
+def _generate_split(spec, prototypes, total, split_rng):
+    """One split of the legacy single-stream generator: ``(images, labels)``.
+
+    The label shuffle and the sample draws share ``split_rng`` — this
+    is the exact seed-generator stream (generator version 1), which the
+    sharded pipeline reuses for datasets small enough to fit one shard.
+    """
+    labels = _split_labels(spec, total, split_rng)
+    images = _sample_images(spec, prototypes, labels, split_rng)
+    return images, labels
 
 
 def generate_synthetic(spec):
@@ -172,10 +244,7 @@ def generate_synthetic(spec):
     prototypes = _class_prototypes(spec, rng)
 
     def _split(total, split_rng):
-        counts = spec.class_counts(total)
-        labels = np.repeat(np.arange(spec.num_classes), counts)
-        split_rng.shuffle(labels)
-        images = _sample_images(spec, prototypes, labels, split_rng)
+        images, labels = _generate_split(spec, prototypes, total, split_rng)
         return ArrayDataset(images, labels)
 
     train_rng = np.random.default_rng(spec.seed + 1)
@@ -183,22 +252,32 @@ def generate_synthetic(spec):
     return _split(spec.train_size, train_rng), _split(spec.test_size, test_rng)
 
 
-def make_dataset(profile, seed=None, train_size=None, test_size=None):
+def make_dataset(
+    profile,
+    seed=None,
+    train_size=None,
+    test_size=None,
+    cache_dir=None,
+    workers=None,
+    shard_size=None,
+):
     """Instantiate a named profile, optionally overriding its scale.
 
     Returns ``(train_dataset, test_dataset, spec)``.
+
+    ``cache_dir`` (optional) names an on-disk dataset cache directory:
+    a repeat call for the same spec + engine dtype memory-maps the
+    stored arrays instead of regenerating them.  ``workers`` and
+    ``shard_size`` tune the sharded generation path for large datasets
+    (see :mod:`repro.data.pipeline`); they never change the generated
+    values — shard layout is a pure function of the spec and
+    ``shard_size``, and the default small-dataset stream is identical
+    to the seed generator.
     """
-    if profile not in PROFILES:
-        raise KeyError(f"unknown dataset profile {profile!r}; have {sorted(PROFILES)}")
-    spec = PROFILES[profile]
-    overrides = {}
-    if seed is not None:
-        overrides["seed"] = seed
-    if train_size is not None:
-        overrides["train_size"] = train_size
-    if test_size is not None:
-        overrides["test_size"] = test_size
-    if overrides:
-        spec = SyntheticSpec(**{**spec.__dict__, **overrides})
-    train, test = generate_synthetic(spec)
+    from .pipeline import load_or_generate, resolve_spec
+
+    spec = resolve_spec(profile, seed=seed, train_size=train_size, test_size=test_size)
+    train, test = load_or_generate(
+        spec, cache_dir=cache_dir, workers=workers, shard_size=shard_size
+    )
     return train, test, spec

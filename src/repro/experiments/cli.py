@@ -7,18 +7,21 @@ Usage::
     python -m repro.experiments all --profile fast
     python -m repro.experiments sweep --profile smoke --workers 4
     python -m repro.experiments sweep --spec grid.json --json report.json
+    python -m repro.experiments datagen --datasets cifar10_like --train-size 50000
 
 Each artifact prints its rendered table/figure and the paper-shape
 check result; ``--json`` additionally dumps the raw numbers.  The
 ``sweep`` verb executes an experiment grid directly through the
 parallel sweep engine and reports per-run status, wall-clock and cache
-hits.
+hits.  The ``datagen`` verb pre-warms the on-disk dataset cache that
+sweep workers memory-map (see ``docs/data-pipeline.md``).
 """
 
 import argparse
 import json
 import os
 import sys
+import time
 
 from . import (
     check_fig1,
@@ -50,9 +53,11 @@ from . import (
     run_table3,
     save_json,
 )
+from ..data.pipeline import dataset_cache_dir, resolve_spec, warm_dataset
 from ..tensor import set_default_dtype
 from .ablations import ablation_configs
 from .config import TrainConfig, make_grid
+from .runner import default_cache_dir
 from .sweep import WORKERS_ENV, format_sweep, resolve_workers, run_sweep, warm_cache
 
 
@@ -100,8 +105,9 @@ def build_parser():
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all", "sweep"],
-        help="which paper artifact to regenerate, or 'sweep' to run a grid directly",
+        choices=sorted(ARTIFACTS) + ["all", "sweep", "datagen"],
+        help="which paper artifact to regenerate, 'sweep' to run a grid "
+        "directly, or 'datagen' to pre-warm the dataset cache",
     )
     parser.add_argument(
         "--profile",
@@ -158,6 +164,19 @@ def build_parser():
         default=None,
         help="JSON file with a list of TrainConfig dicts; overrides the grid flags",
     )
+    datagen_group = parser.add_argument_group("dataset generation (datagen verb only)")
+    datagen_group.add_argument(
+        "--train-size", type=int, default=None, help="override each profile's train size"
+    )
+    datagen_group.add_argument(
+        "--test-size", type=int, default=None, help="override each profile's test size"
+    )
+    datagen_group.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="samples per generation shard (default: repro.data.pipeline default)",
+    )
     return parser
 
 
@@ -201,6 +220,46 @@ def run_sweep_command(args, out=sys.stdout):
     return report.n_errors
 
 
+def run_datagen_command(args, out=sys.stdout):
+    """The ``datagen`` verb: pre-warm the on-disk dataset cache.
+
+    Generates (sharded, ``--workers``-parallel) every ``--datasets``
+    profile at the requested sizes into the dataset cache the sweep
+    workers will memory-map.  Returns 0 on success (a warm entry counts
+    as success); returns 1 when the dataset cache is disabled, since
+    there is nothing to warm.
+    """
+    cache_dir = dataset_cache_dir(default_cache_dir())
+    if not cache_dir:
+        print(
+            "dataset cache is disabled (REPRO_DATASET_CACHE=off); "
+            "nothing to warm",
+            file=out,
+        )
+        return 1
+    workers = args.workers if args.workers is not None else resolve_workers(None)
+    results = []
+    for profile in _csv(args.datasets):
+        spec = resolve_spec(profile, train_size=args.train_size, test_size=args.test_size)
+        start = time.perf_counter()
+        key, hit = warm_dataset(
+            spec, cache_dir, workers=workers, shard_size=args.shard_size
+        )
+        seconds = time.perf_counter() - start
+        results.append({"profile": profile, "key": key, "hit": hit, "seconds": seconds})
+        status = "cached" if hit else f"generated in {seconds:.2f}s"
+        print(
+            f"{profile}: {spec.train_size}+{spec.test_size} samples -> "
+            f"{key} ({status})",
+            file=out,
+        )
+    print(f"dataset cache: {cache_dir}", file=out)
+    if args.json:
+        save_json({"cache_dir": cache_dir, "datasets": results}, args.json)
+        print(f"raw report -> {args.json}", file=out)
+    return 0
+
+
 def run_artifact(
     name, profile, seed=0, force=False, json_path=None, workers=None, out=sys.stdout
 ):
@@ -232,6 +291,8 @@ def main(argv=None):
         set_default_dtype(args.dtype)
     if args.artifact == "sweep":
         return 1 if run_sweep_command(args) else 0
+    if args.artifact == "datagen":
+        return run_datagen_command(args)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     total_violations = 0
     for name in names:

@@ -8,8 +8,6 @@ trained for Table 1 instead of retraining them.
 
 import json
 import os
-import shutil
-import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -19,7 +17,8 @@ from .. import nn, optim
 from ..core import make_trainer
 from ..core.metrics import History
 from ..data import DataLoader, corrupt_dataset, make_dataset, standard_augment
-from ..io import file_lock
+from ..data.pipeline import dataset_cache_dir
+from ..io import DirectoryCache
 from ..models import create_model
 from ..tensor import Tensor, dtype_context, no_grad
 from .config import TrainConfig
@@ -72,20 +71,25 @@ _DATASET_CACHE_SIZE = 8
 
 
 @lru_cache(maxsize=_DATASET_CACHE_SIZE)
-def _cached_make_dataset(profile, train_size, test_size, dtype):
+def _cached_make_dataset(profile, train_size, test_size, dtype, dataset_cache):
     """Bounded per-process memo over synthetic dataset generation.
 
-    Keyed by ``(profile, sizes, engine dtype)`` — the dtype is part of
-    the key because dataset arrays are produced in the engine dtype, so
-    a float64 run must not reuse a float32 worker's arrays (generation
-    runs under ``dtype_context(dtype)`` so key and arrays always
-    agree).  Generation is deterministic per key, and callers treat the
-    returned datasets as read-only (label noise copies targets,
-    augmentation copies batches), so sharing one instance across runs
-    is safe.
+    Keyed by ``(profile, sizes, engine dtype, dataset-cache dir)`` —
+    the dtype is part of the key because dataset arrays are produced in
+    the engine dtype, so a float64 run must not reuse a float32
+    worker's arrays (generation runs under ``dtype_context(dtype)`` so
+    key and arrays always agree).  ``dataset_cache`` (a directory or
+    ``None``) routes generation through the on-disk dataset cache: a
+    warm entry is memory-mapped, so concurrent sweep workers share one
+    copy of the arrays instead of regenerating them.  Generation is
+    deterministic per key, and callers treat the returned datasets as
+    read-only (label noise copies targets, augmentation copies
+    batches), so sharing one instance across runs is safe.
     """
     with dtype_context(dtype):
-        return make_dataset(profile, train_size=train_size, test_size=test_size)
+        return make_dataset(
+            profile, train_size=train_size, test_size=test_size, cache_dir=dataset_cache
+        )
 
 
 def clear_dataset_cache():
@@ -93,7 +97,7 @@ def clear_dataset_cache():
     _cached_make_dataset.cache_clear()
 
 
-def load_experiment_data(config):
+def load_experiment_data(config, dataset_cache=None):
     """Datasets for a config: ``(train, test, spec)``, label noise applied.
 
     Repeated calls for the same ``(dataset, sizes, dtype)`` — e.g. the
@@ -104,9 +108,23 @@ def load_experiment_data(config):
     process sees exactly the arrays the run trained on.  The
     label-noise corruption stays outside the memo (it depends on the
     run seed) and shares the memoized input arrays.
+
+    ``dataset_cache`` optionally names the on-disk dataset cache to
+    load/publish the generated arrays through.  ``None`` (what the
+    table/figure drivers pass) resolves exactly as the training path
+    does for the default run cache — ``REPRO_DATASET_CACHE``, else the
+    ``datasets/`` subdirectory of the default run-cache dir — so a
+    driver's analysis phase shares one memo entry (and one on-disk
+    entry) with the training runs instead of regenerating.
     """
+    if dataset_cache is None:
+        dataset_cache = dataset_cache_dir(default_cache_dir())
     train, test, spec = _cached_make_dataset(
-        config.dataset, config.train_size, config.test_size, config.resolved_dtype()
+        config.dataset,
+        config.train_size,
+        config.test_size,
+        config.resolved_dtype(),
+        dataset_cache,
     )
     if config.label_noise > 0:
         train, _mask = corrupt_dataset(
@@ -209,28 +227,23 @@ def run_training(config, callbacks=(), cache_dir=_DEFAULT_CACHE, force=False, ve
 def _run_training(config, callbacks, cache_dir, force, verbose):
     if cache_dir is _DEFAULT_CACHE:
         cache_dir = default_cache_dir()
-    train, test, spec = load_experiment_data(config)
+    train, test, spec = load_experiment_data(config, dataset_cache=dataset_cache_dir(cache_dir))
     model = build_model(config, spec)
 
-    cache_path = None
-    if cache_dir:
-        cache_path = os.path.join(cache_dir, config.cache_key())
-        if not force:
-            cached = None
-            with file_lock(cache_path + ".lock"):
-                if _cache_complete(cache_path):
-                    cached = _cache_load(cache_path)
-            if cached is not None:
-                state, history, metrics = cached
-                model.load_state_dict(state)
-                return RunResult(
-                    config=config,
-                    model=model,
-                    history=history,
-                    train_acc=metrics["train_acc"],
-                    test_acc=metrics["test_acc"],
-                    from_cache=True,
-                )
+    cache = DirectoryCache(cache_dir, _CACHE_FILES) if cache_dir else None
+    if cache is not None and not force:
+        cached = cache.fetch(config.cache_key(), _cache_load)
+        if cached is not None:
+            state, history, metrics = cached
+            model.load_state_dict(state)
+            return RunResult(
+                config=config,
+                model=model,
+                history=history,
+                train_acc=metrics["train_acc"],
+                test_acc=metrics["test_acc"],
+                from_cache=True,
+            )
 
     trainer = build_trainer(config, model, callbacks=callbacks)
     transform = standard_augment() if config.augment else None
@@ -253,13 +266,13 @@ def _run_training(config, callbacks, cache_dir, force, verbose):
         train_acc=train_acc,
         test_acc=test_acc,
     )
-    if cache_path:
-        _cache_store(cache_path, model, history, train_acc, test_acc)
+    if cache is not None:
+        _cache_store(cache, config.cache_key(), model, history, train_acc, test_acc)
     return result
 
 
 # ----------------------------------------------------------------------
-# Cache plumbing
+# Cache plumbing (a DirectoryCache over the run-cache directory)
 # ----------------------------------------------------------------------
 #: Files that make up one complete cache entry.
 _CACHE_FILES = ("state.npz", "history.json", "metrics.json")
@@ -269,33 +282,22 @@ def _cache_complete(path):
     return all(os.path.exists(os.path.join(path, name)) for name in _CACHE_FILES)
 
 
-def _cache_store(path, model, history, train_acc, test_acc):
-    """Publish one cache entry atomically.
+def _cache_store(cache, key, model, history, train_acc, test_acc):
+    """Publish one run-cache entry atomically via :class:`DirectoryCache`.
 
-    The entry is assembled in a sibling temp directory and renamed into
-    place under the per-key lock: concurrent readers only ever see a
-    fully formed ``<key>/`` directory.  When two workers race to store
-    the same key the last writer wins atomically — results are
-    deterministic per config, so either copy is correct.
+    When two workers race to store the same key the last writer wins
+    atomically — results are deterministic per config, so either copy
+    is correct.
     """
-    parent = os.path.dirname(os.path.abspath(path)) or "."
-    os.makedirs(parent, exist_ok=True)
-    tmp = tempfile.mkdtemp(prefix=os.path.basename(path) + ".tmp.", dir=parent)
-    try:
+
+    def build(tmp):
         np.savez(os.path.join(tmp, "state.npz"), **model.state_dict())
         with open(os.path.join(tmp, "history.json"), "w") as fh:
             json.dump(history.to_dict(), fh)
         with open(os.path.join(tmp, "metrics.json"), "w") as fh:
             json.dump({"train_acc": train_acc, "test_acc": test_acc}, fh)
-        with file_lock(path + ".lock"):
-            if os.path.isdir(path):
-                # A previous (possibly partial, possibly stale-forced)
-                # entry exists; replace it wholesale.
-                shutil.rmtree(path)
-            os.rename(tmp, path)
-    except BaseException:
-        shutil.rmtree(tmp, ignore_errors=True)
-        raise
+
+    cache.publish(key, build)
 
 
 def _cache_load(path):

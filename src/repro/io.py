@@ -5,15 +5,20 @@ experiment runner's cache uses) plus a JSON sidecar carrying arbitrary
 metadata — enough to resume training or ship a trained model without
 pickling code objects.
 
-This module also hosts the concurrency primitives the experiment
-runner's on-disk cache builds on: :func:`file_lock` (an inter-process
-advisory lock) and :func:`atomic_write_json` (write-to-temp-then-rename
-so readers never observe a half-written file).
+This module also hosts the concurrency primitives every on-disk cache
+in the project builds on: :func:`file_lock` (an inter-process advisory
+lock), :func:`atomic_write_json` (write-to-temp-then-rename so readers
+never observe a half-written file), and :class:`DirectoryCache` — a
+content-addressed directory store with atomic publication and per-key
+locks that backs both the experiment run cache
+(``.cache/runs/<key>/``) and the dataset cache
+(``.cache/runs/datasets/<key>/``).
 """
 
 import contextlib
 import json
 import os
+import shutil
 import tempfile
 import time
 
@@ -88,6 +93,79 @@ def atomic_write_json(path, payload, **dump_kwargs):
             os.remove(tmp)
         raise
     return path
+
+
+class DirectoryCache:
+    """Content-addressed directory cache with atomic publication.
+
+    An entry is a directory ``<root>/<key>/`` holding exactly the files
+    named in ``manifest``.  Entries are staged in a same-filesystem temp
+    directory and renamed into place while holding a per-key
+    inter-process lock, so concurrent readers only ever observe a
+    missing entry or a fully formed one — never a torn write.  When two
+    processes race to publish the same key the last writer wins
+    atomically; cache keys are expected to be content hashes, so either
+    copy is correct.
+
+    The run cache (``repro.experiments.runner``) and the dataset cache
+    (``repro.data.pipeline``) are both instances of this class.
+    """
+
+    def __init__(self, root, manifest):
+        self.root = os.path.abspath(root)
+        self.manifest = tuple(manifest)
+
+    def entry_path(self, key):
+        """Directory an entry for ``key`` occupies (whether or not it exists)."""
+        return os.path.join(self.root, key)
+
+    def lock_path(self, key):
+        return self.entry_path(key) + ".lock"
+
+    def complete(self, key):
+        """True when every manifest file of ``key`` exists (no lock taken)."""
+        path = self.entry_path(key)
+        return all(os.path.exists(os.path.join(path, name)) for name in self.manifest)
+
+    def fetch(self, key, loader):
+        """Load ``key`` via ``loader(entry_path)`` under the key lock.
+
+        Returns the loader's result, or ``None`` when the entry is
+        absent or incomplete.  The lock is held across the completeness
+        check *and* the load, so a concurrent publisher can never swap
+        the entry mid-read.
+        """
+        with file_lock(self.lock_path(key)):
+            if self.complete(key):
+                return loader(self.entry_path(key))
+        return None
+
+    def publish(self, key, build):
+        """Create or replace the entry for ``key`` atomically.
+
+        ``build(tmp_dir)`` stages the manifest files into ``tmp_dir``
+        (outside the lock, so slow serialization never blocks readers
+        of other keys); the staged directory is then renamed over the
+        entry under the per-key lock.  Returns the entry path.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        path = self.entry_path(key)
+        tmp = tempfile.mkdtemp(prefix=key + ".tmp.", dir=self.root)
+        try:
+            build(tmp)
+            missing = [n for n in self.manifest if not os.path.exists(os.path.join(tmp, n))]
+            if missing:
+                raise ValueError(f"cache build for {key!r} left manifest files missing: {missing}")
+            with file_lock(self.lock_path(key)):
+                if os.path.isdir(path):
+                    # A previous (possibly partial, possibly stale-forced)
+                    # entry exists; replace it wholesale.
+                    shutil.rmtree(path)
+                os.rename(tmp, path)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return path
 
 
 def save_checkpoint(path, model, metadata=None, optimizer=None, history=None):

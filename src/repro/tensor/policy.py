@@ -22,6 +22,24 @@ Resolution order for the process default:
 inherit the policy through the environment (and
 :func:`repro.experiments.sweep.run_sweep` pins each config's dtype
 before dispatch so parent and workers agree on cache keys).
+
+Examples
+--------
+Scoped and process-wide overrides from Python::
+
+    from repro.tensor import dtype_context, set_default_dtype
+
+    with dtype_context("float64"):      # verification-grade numerics
+        check_gradient(fn, arrays)
+
+    set_default_dtype("float64")        # everything from here on
+
+From the shell — the same knob every entry point honors (dataset
+arrays, run-cache keys and dataset-cache keys all follow it)::
+
+    REPRO_DTYPE=float64 python -m repro.experiments table1
+    REPRO_DTYPE=f32 REPRO_WORKERS=4 REPRO_CACHE_DIR=/tmp/repro \\
+        python -m repro.experiments sweep --profile smoke
 """
 
 import os

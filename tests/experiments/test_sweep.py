@@ -201,6 +201,37 @@ class TestWarmCache:
             assert _cache_complete(os.path.join(str(tmp_path), config.cache_key()))
 
 
+class TestDatasetWarmup:
+    def test_parallel_sweep_warms_dataset_cache(self, tmp_path):
+        from repro.data import dataset_cache_dir
+
+        configs = smoke_grid(4)
+        first = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="fork")
+        dataset_dir = dataset_cache_dir(str(tmp_path))
+        assert first.datasets_warmed == 1  # one unique (profile, sizes, dtype)
+        assert first.dataset_cache_hits == 0
+        entries = [n for n in os.listdir(dataset_dir) if not n.endswith(".lock")]
+        assert len(entries) == 1
+        # a repeat sweep performs zero dataset-generation work
+        second = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="fork")
+        assert second.datasets_warmed == 0
+        assert second.dataset_cache_hits == 1
+        assert second.cache_hits == 4
+
+    def test_warm_datasets_skips_broken_profiles(self, tmp_path):
+        from repro.experiments.sweep import warm_datasets
+
+        good = smoke_grid(1)
+        bad = [good[0].with_overrides(dataset="no_such_dataset")]
+        warmed, hits = warm_datasets(good + bad, str(tmp_path))
+        assert (warmed, hits) == (1, 0)
+
+    def test_serial_sweep_skips_warm_pass(self, tmp_path):
+        report = run_sweep(smoke_grid(2), workers=1, cache_dir=str(tmp_path))
+        assert report.datasets_warmed == 0
+        assert report.dataset_cache_hits == 0
+
+
 class TestDriversParallel:
     @pytest.mark.slow
     def test_table3_parallel_matches_serial(self, tmp_path):

@@ -1,0 +1,84 @@
+"""Strict link check over the docs site (README + docs/).
+
+Every relative link must point at an existing file, and every fragment
+into a markdown file must match a real heading's GitHub-style anchor.
+This is the check CI's docs job runs; it keeps the docs honest without
+pulling in a docs framework.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Markdown files making up the docs site.
+DOC_FILES = ["README.md"] + sorted(
+    os.path.join("docs", name)
+    for name in os.listdir(os.path.join(REPO_ROOT, "docs"))
+    if name.endswith(".md")
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading.
+
+    Literal underscores are preserved (``## REPRO_DTYPE`` anchors as
+    ``#repro_dtype``); only markdown emphasis/code markers are stripped.
+    """
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_links(path):
+    """All link targets in ``path``, code fences stripped."""
+    with open(os.path.join(REPO_ROOT, path)) as fh:
+        text = _CODE_FENCE.sub("", fh.read())
+    return _LINK.findall(text)
+
+
+def heading_anchors(path):
+    with open(os.path.join(REPO_ROOT, path)) as fh:
+        text = _CODE_FENCE.sub("", fh.read())
+    return {github_slug(h) for h in _HEADING.findall(text)}
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in markdown_links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, fragment = target.partition("#")
+        if not path:  # same-file fragment
+            resolved = doc
+        else:
+            resolved = os.path.normpath(os.path.join(os.path.dirname(doc), path))
+        full = os.path.join(REPO_ROOT, resolved)
+        if not os.path.exists(full):
+            broken.append(f"{doc}: {target} -> missing {resolved}")
+        elif fragment and resolved.endswith(".md"):
+            if github_slug(fragment) not in heading_anchors(resolved):
+                broken.append(f"{doc}: {target} -> no heading #{fragment} in {resolved}")
+    assert not broken, "\n".join(broken)
+
+
+def test_docs_exist_and_nonempty():
+    assert "docs/architecture.md" in DOC_FILES
+    assert "docs/data-pipeline.md" in DOC_FILES
+    for doc in DOC_FILES:
+        with open(os.path.join(REPO_ROOT, doc)) as fh:
+            assert len(fh.read()) > 200, f"{doc} is suspiciously empty"
+
+
+def test_readme_links_docs_site():
+    targets = {t.partition("#")[0] for t in markdown_links("README.md")}
+    assert "docs/architecture.md" in targets
+    assert "docs/data-pipeline.md" in targets

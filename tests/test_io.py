@@ -1,10 +1,13 @@
-"""Checkpoint save/load."""
+"""Checkpoint save/load and the shared DirectoryCache primitive."""
+
+import os
+from multiprocessing import get_context
 
 import numpy as np
 import pytest
 
 from repro.core.metrics import History
-from repro.io import load_checkpoint, save_checkpoint
+from repro.io import DirectoryCache, load_checkpoint, save_checkpoint
 from repro.models import create_model
 from repro.optim import SGD
 from repro.tensor import Tensor, no_grad
@@ -75,3 +78,75 @@ class TestCheckpoint:
         path = str(tmp_path / "m.npz")
         save_checkpoint(path, model)
         load_checkpoint(str(tmp_path / "m"), fresh_model(1))
+
+
+def _write_payload(tmp, payload="payload"):
+    with open(os.path.join(tmp, "data.txt"), "w") as fh:
+        fh.write(payload)
+
+
+def _read_payload(path):
+    with open(os.path.join(path, "data.txt")) as fh:
+        return fh.read()
+
+
+def _publish_n(task):
+    """Process entry point: publish the same key repeatedly."""
+    root, payload, repeats = task
+    cache = DirectoryCache(root, ("data.txt",))
+    for _ in range(repeats):
+        cache.publish("key", lambda tmp: _write_payload(tmp, payload))
+        got = cache.fetch("key", _read_payload)
+        # Entries are atomic: a fetch always sees a complete payload
+        # from SOME writer, never a torn or missing file.
+        assert got in ("red", "blue")
+    return True
+
+
+class TestDirectoryCache:
+    def test_publish_then_fetch(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        assert cache.fetch("key", _read_payload) is None
+        assert not cache.complete("key")
+        cache.publish("key", _write_payload)
+        assert cache.complete("key")
+        assert cache.fetch("key", _read_payload) == "payload"
+
+    def test_incomplete_entry_is_a_miss(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt", "meta.json"))
+        (tmp_path / "key").mkdir()
+        (tmp_path / "key" / "data.txt").write_text("torn")
+        assert not cache.complete("key")
+        assert cache.fetch("key", _read_payload) is None
+
+    def test_publish_replaces_stale_entry(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        cache.publish("key", lambda tmp: _write_payload(tmp, "old"))
+        cache.publish("key", lambda tmp: _write_payload(tmp, "new"))
+        assert cache.fetch("key", _read_payload) == "new"
+
+    def test_failed_build_leaves_no_debris(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+
+        def broken(tmp):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.publish("key", broken)
+        assert not cache.complete("key")
+        assert [n for n in os.listdir(tmp_path) if ".tmp." in n] == []
+
+    def test_build_missing_manifest_rejected(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt", "missing.txt"))
+        with pytest.raises(ValueError):
+            cache.publish("key", _write_payload)
+        assert not cache.complete("key")
+
+    def test_concurrent_publishers_stay_atomic(self, tmp_path):
+        ctx = get_context("fork")
+        tasks = [(str(tmp_path), color, 10) for color in ("red", "blue") * 2]
+        with ctx.Pool(4) as pool:
+            assert all(pool.map(_publish_n, tasks))
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        assert cache.fetch("key", _read_payload) in ("red", "blue")
+        assert [n for n in os.listdir(tmp_path) if ".tmp." in n] == []
