@@ -29,6 +29,7 @@ from .runner import (
     run_training,
     evaluate_accuracy,
     accuracy_eval_fn,
+    execute_record,
     load_experiment_data,
     build_model,
     build_trainer,
@@ -38,11 +39,19 @@ from .runner import (
 from .sweep import (
     RunRecord,
     SweepReport,
+    SCHEDULERS,
     run_sweep,
     warm_cache,
     warm_for,
     resolve_workers,
     format_sweep,
+)
+from .scheduler import (
+    TaskQueue,
+    worker_loop,
+    worker_identity,
+    queue_name_for,
+    format_queue,
 )
 from .reporting import format_table, format_series, save_json
 from .table1 import run_table1, check_table1, format_table1, table1_configs
@@ -96,11 +105,18 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "RunRecord",
     "SweepReport",
+    "SCHEDULERS",
     "run_sweep",
     "warm_cache",
     "warm_for",
     "resolve_workers",
     "format_sweep",
+    "execute_record",
+    "TaskQueue",
+    "worker_loop",
+    "worker_identity",
+    "queue_name_for",
+    "format_queue",
     "format_table",
     "format_series",
     "save_json",

@@ -7,14 +7,21 @@ Usage::
     python -m repro.experiments all --profile fast
     python -m repro.experiments sweep --profile smoke --workers 4
     python -m repro.experiments sweep --spec grid.json --json report.json
+    python -m repro.experiments sweep --scheduler queue --workers 4
+    python -m repro.experiments worker --queue grid-1a2b3c4d5e6f
     python -m repro.experiments datagen --datasets cifar10_like --train-size 50000
 
 Each artifact prints its rendered table/figure and the paper-shape
 check result; ``--json`` additionally dumps the raw numbers.  The
 ``sweep`` verb executes an experiment grid directly through the
 parallel sweep engine and reports per-run status, wall-clock and cache
-hits.  The ``datagen`` verb pre-warms the on-disk dataset cache that
-sweep workers memory-map (see ``docs/data-pipeline.md``).
+hits; ``--scheduler queue`` routes it through the durable, resumable
+work-stealing queue instead of the fixed pool.  The ``worker`` verb
+joins such a queue from any process — any machine sharing the cache
+directory — and drains tasks until the queue is empty (see
+``docs/scheduler.md``).  The ``datagen`` verb pre-warms the on-disk
+dataset cache that sweep workers memory-map (see
+``docs/data-pipeline.md``).
 """
 
 import argparse
@@ -58,7 +65,14 @@ from ..tensor import set_default_dtype
 from .ablations import ablation_configs
 from .config import TrainConfig, make_grid
 from .runner import default_cache_dir
-from .sweep import WORKERS_ENV, format_sweep, resolve_workers, run_sweep, warm_cache
+from .sweep import (
+    SCHEDULERS,
+    WORKERS_ENV,
+    format_sweep,
+    resolve_workers,
+    run_sweep,
+    warm_cache,
+)
 
 
 def _ablations(profile, cache_dir=None, workers=None, **kwargs):
@@ -105,9 +119,10 @@ def build_parser():
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all", "sweep", "datagen"],
+        choices=sorted(ARTIFACTS) + ["all", "sweep", "worker", "datagen"],
         help="which paper artifact to regenerate, 'sweep' to run a grid "
-        "directly, or 'datagen' to pre-warm the dataset cache",
+        "directly, 'worker' to join a sweep queue as a work-stealing "
+        "worker, or 'datagen' to pre-warm the dataset cache",
     )
     parser.add_argument(
         "--profile",
@@ -164,6 +179,39 @@ def build_parser():
         default=None,
         help="JSON file with a list of TrainConfig dicts; overrides the grid flags",
     )
+    sweep_group.add_argument(
+        "--scheduler",
+        default="pool",
+        choices=SCHEDULERS,
+        help="execution backend: the fixed multiprocessing pool, or the "
+        "durable resumable work-stealing queue (default: pool)",
+    )
+    queue_group = parser.add_argument_group("queue scheduler (sweep/worker verbs)")
+    queue_group.add_argument(
+        "--queue",
+        default=None,
+        help="queue name (or directory) to use; sweep derives one from the "
+        "grid by default, worker picks the only live queue when unambiguous",
+    )
+    queue_group.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        help="seconds before a dead worker's leased task may be stolen "
+        "(set at queue creation; default: scheduler default)",
+    )
+    queue_group.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="worker verb: exit after executing this many tasks",
+    )
+    queue_group.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="worker verb: exit at the first idle scan instead of waiting "
+        "for the queue to drain",
+    )
     datagen_group = parser.add_argument_group("dataset generation (datagen verb only)")
     datagen_group.add_argument(
         "--train-size", type=int, default=None, help="override each profile's train size"
@@ -212,12 +260,82 @@ def run_sweep_command(args, out=sys.stdout):
         workers = resolve_workers(None)
     else:
         workers = min(4, max(2, os.cpu_count() or 2))
-    report = run_sweep(configs, workers=workers, force=args.no_cache)
+    report = run_sweep(
+        configs,
+        workers=workers,
+        force=args.no_cache,
+        scheduler=args.scheduler,
+        queue_name=args.queue,
+        lease_timeout=args.lease_timeout,
+    )
     print(format_sweep(report), file=out)
     if args.json:
         save_json(report.to_dict(), args.json)
         print(f"\nraw report -> {args.json}", file=out)
     return report.n_errors
+
+
+def resolve_queue_root(name, cache_dir=None):
+    """Resolve a ``--queue`` value (name, directory, or None) to a root.
+
+    ``None`` is accepted only when exactly one queue exists under the
+    cache — the common "I started one sweep, join it" case; anything
+    ambiguous raises with the candidate names so the operator can pick.
+    """
+    from .scheduler import QUEUE_SUBDIR, queue_root
+
+    cache_dir = cache_dir or default_cache_dir()
+    if name:
+        root = os.path.abspath(name) if os.path.isdir(name) else queue_root(cache_dir, name)
+        if not os.path.exists(os.path.join(root, "meta.json")):
+            raise SystemExit(f"no queue at {root}; start one with 'sweep --scheduler queue'")
+        return root
+    queues_dir = os.path.join(cache_dir, QUEUE_SUBDIR)
+    candidates = sorted(
+        entry
+        for entry in (os.listdir(queues_dir) if os.path.isdir(queues_dir) else [])
+        if os.path.exists(os.path.join(queues_dir, entry, "meta.json"))
+    )
+    if len(candidates) == 1:
+        return os.path.join(queues_dir, candidates[0])
+    if not candidates:
+        raise SystemExit(f"no queues under {queues_dir}; start one with "
+                         "'sweep --scheduler queue' or pass --queue")
+    raise SystemExit(
+        "multiple queues exist; pass --queue one of: " + ", ".join(candidates)
+    )
+
+
+def run_worker_command(args, out=sys.stdout):
+    """The ``worker`` verb: drain tasks from a queue until it is empty.
+
+    Any number of these can run concurrently — same machine or any
+    other machine mounting the cache directory.  Returns 0 when the
+    queue drained with no errors, 1 otherwise.
+    """
+    from .scheduler import TaskQueue, format_queue, worker_identity, worker_loop
+
+    root = resolve_queue_root(args.queue)
+    queue = TaskQueue(root)
+    if args.lease_timeout is not None:
+        # The documented recovery path: joining with an explicit (usually
+        # shorter) lease timeout updates the live queue, so leases
+        # orphaned by a dead sweep become stealable immediately.
+        queue = TaskQueue.create(
+            queue.cache_dir, os.path.basename(root), lease_timeout=args.lease_timeout
+        )
+    worker = worker_identity()
+    print(f"worker {worker} joining {root}", file=out)
+    executed = worker_loop(
+        root,
+        worker=worker,
+        max_tasks=args.max_tasks,
+        wait=not args.no_wait,
+    )
+    counts = queue.counts()
+    print(f"worker {worker} executed {executed} task(s)", file=out)
+    print(format_queue(queue), file=out)
+    return 1 if counts["error"] else 0
 
 
 def run_datagen_command(args, out=sys.stdout):
@@ -291,6 +409,8 @@ def main(argv=None):
         set_default_dtype(args.dtype)
     if args.artifact == "sweep":
         return 1 if run_sweep_command(args) else 0
+    if args.artifact == "worker":
+        return run_worker_command(args)
     if args.artifact == "datagen":
         return run_datagen_command(args)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]

@@ -1,4 +1,10 @@
-"""Plain-text rendering of reproduction tables and series.
+"""Run records and plain-text rendering of reproduction tables/series.
+
+This module owns the :class:`RunRecord` every execution backend (the
+serial loop, the multiprocessing pool, the queued scheduler's workers)
+produces for one training run, plus its JSON round-trip — the queue
+journal persists records through :func:`record_to_dict` /
+:func:`record_from_dict`, so the schema lives next to the dataclass.
 
 The environment has no plotting stack, so figures are reported as
 aligned numeric series (and, for Fig. 3, ASCII contours) — enough to
@@ -7,6 +13,66 @@ read off the orderings and gaps the paper's evaluation claims.
 
 import json
 import os
+from dataclasses import dataclass
+
+from .config import TrainConfig
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one sweep run (lightweight — no model weights)."""
+
+    key: str
+    config: object
+    status: str  # "ok" | "error"
+    from_cache: bool = False
+    seconds: float = 0.0
+    train_acc: float = None
+    test_acc: float = None
+    error: str = None
+    pid: int = 0
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+
+def record_to_dict(record, include_config=True):
+    """JSON-safe form of a :class:`RunRecord` (inverse of :func:`record_from_dict`).
+
+    ``include_config=False`` drops the config dict — what the queue
+    journal does, since the task entry already carries the config.
+    """
+    payload = {
+        "key": record.key,
+        "status": record.status,
+        "from_cache": record.from_cache,
+        "seconds": record.seconds,
+        "train_acc": record.train_acc,
+        "test_acc": record.test_acc,
+        "error": record.error,
+        "pid": record.pid,
+    }
+    if include_config:
+        payload["config"] = record.config.to_dict()
+    return payload
+
+
+def record_from_dict(payload, config=None):
+    """Rebuild a :class:`RunRecord`; ``config`` overrides the embedded dict."""
+    if config is None:
+        config = TrainConfig.from_dict(payload["config"])
+    return RunRecord(
+        key=payload["key"],
+        config=config,
+        status=payload["status"],
+        from_cache=payload.get("from_cache", False),
+        seconds=payload.get("seconds", 0.0),
+        train_acc=payload.get("train_acc"),
+        test_acc=payload.get("test_acc"),
+        error=payload.get("error"),
+        pid=payload.get("pid", 0),
+    )
 
 
 def format_table(headers, rows, title=None):

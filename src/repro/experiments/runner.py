@@ -8,6 +8,7 @@ trained for Table 1 instead of retraining them.
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -22,6 +23,7 @@ from ..io import DirectoryCache
 from ..models import create_model
 from ..tensor import Tensor, dtype_context, no_grad
 from .config import TrainConfig
+from .reporting import RunRecord
 
 
 def default_cache_dir():
@@ -269,6 +271,45 @@ def _run_training(config, callbacks, cache_dir, force, verbose):
     if cache is not None:
         _cache_store(cache, config.cache_key(), model, history, train_acc, test_acc)
     return result
+
+
+def execute_record(config, cache_dir=_DEFAULT_CACHE, force=False, callback_factory=None):
+    """Run one config and contain any crash as a :class:`RunRecord`.
+
+    The single execution step shared by every sweep backend — the
+    serial loop, the multiprocessing pool and the queued scheduler's
+    work-stealing workers all drive the same code, which is what makes
+    their results interchangeable.  ``callback_factory`` (if any) is
+    called here, *inside* the executing process, so unpicklable
+    callback state never crosses a process boundary.  An exception
+    anywhere in the run comes back as an ``error`` record instead of
+    propagating.
+    """
+    start = time.perf_counter()
+    try:
+        callbacks = callback_factory(config) if callback_factory is not None else ()
+        result = run_training(
+            config, callbacks=callbacks, cache_dir=cache_dir, force=force
+        )
+        return RunRecord(
+            key=config.cache_key(),
+            config=config,
+            status="ok",
+            from_cache=result.from_cache,
+            seconds=time.perf_counter() - start,
+            train_acc=result.train_acc,
+            test_acc=result.test_acc,
+            pid=os.getpid(),
+        )
+    except Exception as exc:
+        return RunRecord(
+            key=config.cache_key(),
+            config=config,
+            status="error",
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            pid=os.getpid(),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,549 @@
+"""Queued, resumable sweep scheduling with work-stealing workers.
+
+The multiprocessing pool (:func:`repro.experiments.sweep.run_sweep`'s
+default backend) dispatches a fixed grid up front: a straggler run
+idles every other worker, a crashed sweep forfeits its bookkeeping,
+and only processes forked by the parent can participate.  This module
+replaces that dispatch with a **durable task queue** shared through
+the run-cache directory:
+
+* **Journal** — one :class:`repro.io.JsonJournal` record per config
+  signature under ``<cache>/queue/<name>/journal/``, transitioned
+  ``pending → leased → done/error`` via locked read-modify-write.
+  The journal *is* the sweep state: any process that can see the
+  cache directory can enqueue, work, tail or resume.
+* **Leases** — a claim stamps the record with a worker identity and
+  an expiry.  A worker that dies mid-task simply stops renewing its
+  claim; once the lease expires any other worker **steals** the task
+  and re-runs it (results are deterministic per config, so a re-run
+  is bit-identical).  A task whose lease expires
+  :data:`DEFAULT_MAX_ATTEMPTS` times is marked ``error`` instead of
+  looping forever — the poison-task backstop.
+* **Work-stealing workers** — :func:`worker_loop` is a claim → train
+  → record loop any number of processes can run concurrently, on any
+  machine sharing the cache directory (``python -m repro.experiments
+  worker``).  Workers drain the queue and exit; adding workers
+  mid-sweep just makes it drain faster.
+* **Resume** — re-enqueueing the same grid keeps ``done`` records
+  (their metrics are served straight from the journal) and re-runs
+  everything else.  An interrupted sweep picks up where it left off
+  with zero duplicated training.
+
+Crash-in-task semantics are unchanged from the pool backend: an
+exception inside a run is contained as an ``error`` record by
+:func:`repro.experiments.runner.execute_record` and is **not**
+retried within the sweep (a deterministic failure would fail again);
+only lease expiry — evidence the *worker* died, not the task —
+triggers a steal.  See ``docs/scheduler.md`` for the journal-state
+diagram and the multi-machine recipe.
+"""
+
+import hashlib
+import json
+import os
+import socket
+import time
+import uuid
+
+from ..io import JsonJournal, atomic_write_json, file_lock
+from .config import TrainConfig
+from .reporting import RunRecord, record_from_dict, record_to_dict
+from .runner import execute_record
+
+#: Journal entry schema version, bumped on any incompatible change.
+#: ``tests/test_golden.py`` pins the schema; a queue refuses entries
+#: from a different version instead of misreading them.
+JOURNAL_VERSION = 1
+
+#: Every key of a journal entry, in canonical order (the golden test
+#: asserts this tuple and the serialized shape never drift silently).
+ENTRY_FIELDS = (
+    "version",
+    "key",
+    "config",
+    "force",
+    "status",
+    "attempts",
+    "worker",
+    "leased_at",
+    "lease_expires",
+    "enqueued_at",
+    "started_at",
+    "finished_at",
+    "record",
+)
+
+#: Task lifecycle states.
+PENDING, LEASED, DONE, ERROR = "pending", "leased", "done", "error"
+TERMINAL = (DONE, ERROR)
+
+#: Seconds a claim stays valid before other workers may steal the task.
+#: Generous by default — a steal re-runs the whole task, so false
+#: steals (a slow-but-alive worker) waste more than late steals cost.
+DEFAULT_LEASE_TIMEOUT = 900.0
+
+#: Claims (first run + steals) before a task is marked ``error``.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Subdirectory of the run cache holding every queue.
+QUEUE_SUBDIR = "queue"
+
+
+def queue_name_for(configs):
+    """Deterministic queue name for a grid: hash of its ordered run keys.
+
+    The same grid always maps to the same queue, which is what makes
+    ``run_sweep(scheduler="queue")`` resumable without the caller
+    naming anything; distinct grids land in distinct queues.
+    """
+    keys = "\n".join(config.cache_key() for config in configs)
+    return "grid-" + hashlib.sha256(keys.encode()).hexdigest()[:12]
+
+
+def queue_root(cache_dir, name):
+    """Directory queue ``name`` occupies under the run cache."""
+    return os.path.join(os.path.abspath(cache_dir), QUEUE_SUBDIR, name)
+
+
+def worker_identity():
+    """A globally unique worker id: ``host:pid:nonce``.
+
+    The nonce guards against pid reuse — a recycled pid on the same
+    host must not look like the original lease holder.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def new_entry(config, force=False, now=0.0):
+    """A fresh ``pending`` journal entry for ``config``.
+
+    Pure function of its arguments (the clock is passed in), so the
+    golden schema test can pin the exact serialized form.
+    """
+    return {
+        "version": JOURNAL_VERSION,
+        "key": config.cache_key(),
+        "config": config.to_dict(),
+        "force": bool(force),
+        "status": PENDING,
+        "attempts": 0,
+        "worker": None,
+        "leased_at": None,
+        "lease_expires": None,
+        "enqueued_at": now,
+        "started_at": None,
+        "finished_at": None,
+        "record": None,
+    }
+
+
+class _ClaimLost(Exception):
+    """Internal: another worker transitioned the entry first."""
+
+
+class TaskQueue:
+    """A durable sweep queue: journal + manifest under one directory.
+
+    The journal holds one entry per config signature; ``manifest.json``
+    records the order of first appearance (reports present records in
+    grid order, not completion order) and the queue-wide settings
+    (lease timeout, max attempts).  Everything is plain JSON under the
+    run cache, so ``TaskQueue(root)`` on any machine mounting the same
+    directory sees the same queue.
+    """
+
+    def __init__(self, root, clock=time.time):
+        self.root = os.path.abspath(root)
+        self.journal = JsonJournal(os.path.join(self.root, "journal"))
+        self.clock = clock
+
+    # -- creation / metadata -------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        cache_dir,
+        name,
+        lease_timeout=None,
+        max_attempts=None,
+        clock=time.time,
+    ):
+        """Open-or-create the queue ``name`` under ``cache_dir``.
+
+        Creation is idempotent and race-safe: the first creator writes
+        ``meta.json`` (defaults filled in); later creators adopt the
+        existing settings so every worker agrees on lease semantics —
+        *unless* they pass ``lease_timeout``/``max_attempts``
+        explicitly, which updates the live queue.  That asymmetry is
+        deliberate: resuming an interrupted sweep with a shorter
+        ``--lease-timeout`` is how an operator reclaims leases
+        orphaned by a dead sweep without waiting out the original
+        (deliberately generous) timeout.  Workers re-read the settings
+        on every claim, so an update takes effect fleet-wide.
+        """
+        queue = cls(queue_root(cache_dir, name), clock=clock)
+        meta_path = os.path.join(queue.root, "meta.json")
+        with file_lock(meta_path + ".lock"):
+            try:
+                with open(meta_path) as fh:
+                    meta = json.load(fh)
+            except FileNotFoundError:
+                meta = {
+                    "version": JOURNAL_VERSION,
+                    "name": name,
+                    "lease_timeout": DEFAULT_LEASE_TIMEOUT,
+                    "max_attempts": DEFAULT_MAX_ATTEMPTS,
+                    "created_at": queue.clock(),
+                }
+            updated = dict(meta)
+            if lease_timeout is not None:
+                updated["lease_timeout"] = float(lease_timeout)
+            if max_attempts is not None:
+                updated["max_attempts"] = int(max_attempts)
+            if updated != meta or not os.path.exists(meta_path):
+                atomic_write_json(meta_path, updated, indent=2)
+        return queue
+
+    @property
+    def meta(self):
+        with open(os.path.join(self.root, "meta.json")) as fh:
+            return json.load(fh)
+
+    @property
+    def cache_dir(self):
+        """The run-cache directory this queue lives under.
+
+        Derived from the queue's location rather than stored, so a
+        shared filesystem mounted at different paths on different
+        machines still resolves correctly on each of them.
+        """
+        return os.path.dirname(os.path.dirname(self.root))
+
+    def _manifest_path(self):
+        return os.path.join(self.root, "manifest.json")
+
+    def keys(self):
+        """Task keys in order of first enqueue."""
+        try:
+            with open(self._manifest_path()) as fh:
+                return json.load(fh)["keys"]
+        except FileNotFoundError:
+            return []
+
+    # -- enqueue / resume ----------------------------------------------
+    def enqueue(self, configs, force=False):
+        """Add ``configs`` to the queue; returns ``(enqueued, resumed)``.
+
+        Per config signature:
+
+        * no entry, or a terminal ``error`` entry → fresh ``pending``
+          (resuming re-runs exactly the non-``done`` work);
+        * ``pending``/``leased`` → untouched (an expired lease is the
+          claim path's business, not enqueue's);
+        * ``done`` → untouched and counted in ``resumed`` — its stored
+          record is served without re-running anything;
+        * ``force=True`` → everything resets to ``pending`` with the
+          force flag set, so workers retrain past the run cache.
+        """
+        now = self.clock()
+        enqueued = resumed = 0
+        ordered = []
+        for config in configs:
+            key = config.cache_key()
+            ordered.append(key)
+            fresh = new_entry(config, force=force, now=now)
+            state = {}
+
+            def mutate(current, fresh=fresh, state=state):
+                if current is not None and current.get("version") != JOURNAL_VERSION:
+                    raise ValueError(
+                        f"journal entry {fresh['key']!r} has version "
+                        f"{current.get('version')!r}, this build speaks {JOURNAL_VERSION}"
+                    )
+                if current is None or force or current["status"] == ERROR:
+                    state["outcome"] = "enqueued"
+                    return fresh
+                state["outcome"] = "resumed" if current["status"] == DONE else "kept"
+                return current
+
+            self.journal.update(key, mutate)
+            if state["outcome"] == "enqueued":
+                enqueued += 1
+            elif state["outcome"] == "resumed":
+                resumed += 1
+        self._extend_manifest(ordered)
+        return enqueued, resumed
+
+    def _extend_manifest(self, keys):
+        path = self._manifest_path()
+        with file_lock(path + ".lock"):
+            existing = self.keys()
+            seen = set(existing)
+            merged = list(existing)
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(key)
+            if merged != existing:
+                atomic_write_json(path, {"version": JOURNAL_VERSION, "keys": merged})
+
+    # -- claiming ------------------------------------------------------
+    def _claimable(self, entry, now, lease_timeout):
+        """Runnable right now, under the queue's *current* lease timeout.
+
+        Expiry is computed from ``leased_at`` + the timeout in force at
+        claim-check time, not from the stamped ``lease_expires``: that
+        is what lets an operator resume a dead sweep with a shorter
+        ``--lease-timeout`` and have leases orphaned under the old,
+        generous timeout become stealable immediately.
+        """
+        if entry is None or entry["status"] in TERMINAL:
+            return False
+        if entry["status"] == PENDING:
+            return True
+        leased_at = entry.get("leased_at")
+        return leased_at is not None and leased_at + lease_timeout <= now
+
+    def claim(self, worker):
+        """Lease the first runnable task; returns its entry or ``None``.
+
+        Scans the manifest in order, checking each entry with a
+        lock-free read and only taking the per-key lock for an entry
+        that looks runnable — under the lock the state is re-checked,
+        so two workers racing for the same task serialize and the
+        loser moves on to the next one.  Stealing an expired lease
+        whose attempts are exhausted marks the task ``error`` (with a
+        synthetic record naming every worker that died on it) rather
+        than claiming it.
+        """
+        meta = self.meta
+        lease_timeout = meta["lease_timeout"]
+        max_attempts = meta["max_attempts"]
+        for key in self.keys():
+            now = self.clock()
+            if not self._claimable(self.journal.read(key), now, lease_timeout):
+                continue
+
+            def mutate(current, now=now):
+                if not self._claimable(current, now, lease_timeout):
+                    raise _ClaimLost(key)
+                if current["attempts"] >= max_attempts:
+                    lost = dict(current)
+                    lost["status"] = ERROR
+                    lost["worker"] = None
+                    lost["leased_at"] = None
+                    lost["lease_expires"] = None
+                    lost["finished_at"] = now
+                    lost["record"] = record_to_dict(
+                        RunRecord(
+                            key=current["key"],
+                            config=None,
+                            status="error",
+                            error=(
+                                f"lease expired {current['attempts']} time(s) "
+                                f"(last worker {current['worker']!r}); "
+                                f"max_attempts={max_attempts} exhausted"
+                            ),
+                        ),
+                        include_config=False,
+                    )
+                    return lost
+                leased = dict(current)
+                leased["status"] = LEASED
+                leased["attempts"] = current["attempts"] + 1
+                leased["worker"] = worker
+                leased["leased_at"] = now
+                leased["lease_expires"] = now + lease_timeout
+                leased["started_at"] = now
+                return leased
+
+            try:
+                entry = self.journal.update(key, mutate)
+            except _ClaimLost:
+                continue
+            if entry["status"] == LEASED and entry["worker"] == worker:
+                return entry
+        return None
+
+    def renew(self, key, worker):
+        """Extend a live lease; returns False if the lease was lost.
+
+        A long-running worker calls this between epochs (or any other
+        natural heartbeat) so a generous lease timeout isn't needed to
+        cover the whole task — only the gap between heartbeats.
+        """
+        meta = self.meta
+
+        def mutate(current):
+            if current is None or current["status"] != LEASED or current["worker"] != worker:
+                raise _ClaimLost(key)
+            renewed = dict(current)
+            renewed["leased_at"] = self.clock()
+            renewed["lease_expires"] = renewed["leased_at"] + meta["lease_timeout"]
+            return renewed
+
+        try:
+            self.journal.update(key, mutate)
+        except _ClaimLost:
+            return False
+        return True
+
+    # -- completion ----------------------------------------------------
+    def resolve(self, key, worker, record):
+        """Write a task's outcome; returns False if the lease was stolen.
+
+        The transition only lands if ``worker`` still holds the lease —
+        a worker that stalled past its lease (its task was stolen and
+        possibly re-completed) must not clobber the thief's record.
+        """
+
+        def mutate(current):
+            if current is None or current["status"] != LEASED or current["worker"] != worker:
+                raise _ClaimLost(key)
+            finished = dict(current)
+            finished["status"] = DONE if record.ok else ERROR
+            finished["worker"] = None
+            finished["leased_at"] = None
+            finished["lease_expires"] = None
+            finished["finished_at"] = self.clock()
+            finished["record"] = record_to_dict(record, include_config=False)
+            return finished
+
+        try:
+            self.journal.update(key, mutate)
+        except _ClaimLost:
+            return False
+        return True
+
+    # -- observation ---------------------------------------------------
+    def snapshot(self):
+        """``{key: entry}`` for every journal entry (lock-free)."""
+        return self.journal.snapshot()
+
+    def counts(self, snapshot=None):
+        """``{state: n}`` over the journal (plus ``"stolen"`` re-claims)."""
+        snapshot = self.snapshot() if snapshot is None else snapshot
+        counts = {PENDING: 0, LEASED: 0, DONE: 0, ERROR: 0, "stolen": 0}
+        for entry in snapshot.values():
+            counts[entry["status"]] += 1
+            counts["stolen"] += max(0, entry["attempts"] - 1)
+        return counts
+
+    def drained(self, snapshot=None):
+        """True when every task is terminal (``done`` or ``error``)."""
+        snapshot = self.snapshot() if snapshot is None else snapshot
+        keys = self.keys()
+        return bool(keys) and all(
+            key in snapshot and snapshot[key]["status"] in TERMINAL for key in keys
+        )
+
+    def record_for(self, entry):
+        """Rebuild the :class:`RunRecord` a terminal ``entry`` stores."""
+        config = TrainConfig.from_dict(entry["config"])
+        return record_from_dict(entry["record"], config=config)
+
+
+def format_queue(queue, snapshot=None):
+    """One-line human summary of a queue's state."""
+    counts = queue.counts(snapshot)
+    total = sum(counts[state] for state in (PENDING, LEASED, DONE, ERROR))
+    return (
+        f"queue {os.path.basename(queue.root)}: {total} task(s) — "
+        f"{counts[DONE]} done, {counts[ERROR]} error, {counts[LEASED]} leased, "
+        f"{counts[PENDING]} pending, {counts['stolen']} stolen"
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker loop
+# ----------------------------------------------------------------------
+def _worker_log(queue, worker):
+    """Append-only per-worker log file inside the queue directory.
+
+    The logs ride the shared filesystem next to the journal, so a
+    multi-machine sweep's post-mortem (who leased what, what was
+    stolen) is one directory listing away; CI uploads them as the
+    fault-injection artifact.
+    """
+    log_dir = os.path.join(queue.root, "logs")
+    os.makedirs(log_dir, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in worker)
+    path = os.path.join(log_dir, safe + ".log")
+    fh = open(path, "a", buffering=1)
+
+    def log(message):
+        fh.write(f"{time.strftime('%H:%M:%S')} [{worker}] {message}\n")
+
+    return fh, log
+
+
+def worker_loop(
+    root,
+    worker=None,
+    callback_factory=None,
+    poll=0.5,
+    wait=True,
+    max_tasks=None,
+    on_record=None,
+):
+    """Drain tasks from the queue at ``root``; returns tasks executed.
+
+    The work-stealing loop: claim the first runnable task (pending, or
+    leased with an expired lease), execute it against the shared run
+    cache, record the outcome, repeat.  With ``wait=True`` (the
+    default) the worker naps ``poll`` seconds whenever nothing is
+    runnable and exits once the queue is drained — so a fleet of
+    workers started at different times, on different machines, all
+    finish together.  ``wait=False`` exits at the first idle scan
+    (batch-queue style).  ``max_tasks`` caps this worker's share.
+
+    Each run re-resolves its lease before being recorded: a worker
+    that stalled past its lease timeout discards its result (the task
+    was stolen; the thief's deterministic re-run produced the same
+    thing) instead of double-writing.
+    """
+    queue = TaskQueue(root)
+    worker = worker or worker_identity()
+    fh, log = _worker_log(queue, worker)
+    executed = 0
+    log(f"worker start (root={queue.root})")
+    try:
+        while True:
+            entry = queue.claim(worker)
+            if entry is None:
+                if queue.drained():
+                    log("queue drained; exiting")
+                    break
+                if not wait:
+                    log("nothing runnable; exiting (wait=False)")
+                    break
+                time.sleep(poll)
+                continue
+            key = entry["key"]
+            stolen = " (stolen)" if entry["attempts"] > 1 else ""
+            log(f"claimed {key} attempt={entry['attempts']}{stolen}")
+            config = TrainConfig.from_dict(entry["config"])
+            record = execute_record(
+                config,
+                cache_dir=queue.cache_dir,
+                force=entry["force"],
+                callback_factory=callback_factory,
+            )
+            if queue.resolve(key, worker, record):
+                log(f"{record.status} {key} in {record.seconds:.2f}s")
+                if on_record is not None:
+                    on_record(record)
+            else:
+                log(f"lease lost on {key}; discarding result")
+            executed += 1
+            if max_tasks is not None and executed >= max_tasks:
+                log(f"max_tasks={max_tasks} reached; exiting")
+                break
+    finally:
+        fh.close()
+    return executed
+
+
+def _worker_main(task):
+    """Process entry point for locally spawned workers (picklable)."""
+    root, worker, callback_factory, poll = task
+    return worker_loop(root, worker=worker, callback_factory=callback_factory, poll=poll)

@@ -8,11 +8,14 @@ pickling code objects.
 This module also hosts the concurrency primitives every on-disk cache
 in the project builds on: :func:`file_lock` (an inter-process advisory
 lock), :func:`atomic_write_json` (write-to-temp-then-rename so readers
-never observe a half-written file), and :class:`DirectoryCache` — a
+never observe a half-written file), :class:`DirectoryCache` — a
 content-addressed directory store with atomic publication and per-key
 locks that backs both the experiment run cache
 (``.cache/runs/<key>/``) and the dataset cache
-(``.cache/runs/datasets/<key>/``).
+(``.cache/runs/datasets/<key>/``) — and :class:`JsonJournal`, a
+directory of per-key JSON records with locked read-modify-write
+transitions that backs the sweep scheduler's durable task queue
+(``.cache/runs/queue/<name>/journal/``).
 """
 
 import contextlib
@@ -166,6 +169,74 @@ class DirectoryCache:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
         return path
+
+
+class JsonJournal:
+    """Directory of per-key JSON records with locked state transitions.
+
+    Each key owns one file ``<root>/<key>.json`` written via
+    :func:`atomic_write_json`, plus a sibling ``.lock`` file taken for
+    read-modify-write transitions.  The two access patterns:
+
+    * :meth:`read` / :meth:`snapshot` are **lock-free**: atomic writes
+      guarantee a reader sees *some* complete version of the record,
+      never a torn one — cheap enough to poll from a tailing process.
+    * :meth:`update` is a **transaction**: the per-key lock is held
+      across read → mutate → write, so two processes racing to claim
+      the same record serialize and the loser sees the winner's write.
+
+    This is the persistence layer under the sweep scheduler's task
+    queue (:mod:`repro.experiments.scheduler`): one record per task,
+    mutated through ``pending → leased → done/error``.
+    """
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+
+    def path(self, key):
+        return os.path.join(self.root, key + ".json")
+
+    def lock_path(self, key):
+        return os.path.join(self.root, key + ".lock")
+
+    def keys(self):
+        """All record keys present on disk (sorted; no lock taken)."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+        )
+
+    def read(self, key):
+        """Current record for ``key``, or ``None`` (lock-free snapshot)."""
+        try:
+            with open(self.path(key)) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def snapshot(self):
+        """``{key: record}`` for every record on disk (lock-free)."""
+        return {key: value for key in self.keys() if (value := self.read(key)) is not None}
+
+    def update(self, key, mutate):
+        """Transition ``key`` under its lock; returns the new record.
+
+        ``mutate(current)`` receives the current record (or ``None``)
+        and returns the record to write; returning the current object
+        unchanged skips the write.  An exception raised by ``mutate``
+        aborts the transition (nothing is written) and propagates —
+        the scheduler uses this to lose a claim race cleanly.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        with file_lock(self.lock_path(key)):
+            current = self.read(key)
+            record = mutate(current)
+            if record is not current:
+                atomic_write_json(self.path(key), record)
+        return record
 
 
 def save_checkpoint(path, model, metadata=None, optimizer=None, history=None):

@@ -11,6 +11,36 @@ def rng():
 
 
 @pytest.fixture
+def tmp_run_cache(tmp_path):
+    """A per-test run-cache directory (string path, not yet created).
+
+    The shared spelling of the ``str(tmp_path / "runs")`` idiom the
+    experiment/io tests all need: run caches, sweep reports and queue
+    journals land under it and are garbage-collected with ``tmp_path``.
+    """
+    return str(tmp_path / "runs")
+
+
+@pytest.fixture
+def tiny_grid():
+    """Factory for small smoke-profile experiment grids.
+
+    ``tiny_grid(n)`` is an ``n``-config single-epoch seed axis over the
+    fast ResNet model — the standard sweep-scheduler test workload.
+    Keyword arguments override any :class:`TrainConfig` field.
+    """
+    from repro.experiments import expand_grid, make_config
+
+    def make(n=4, method="sgd", profile="smoke", epochs=1, **overrides):
+        base = make_config(
+            "ResNet20-fast", "cifar10_like", method, profile=profile, epochs=epochs, **overrides
+        )
+        return expand_grid(base, seed=list(range(n)))
+
+    return make
+
+
+@pytest.fixture
 def tiny_image_batch(rng):
     """A small NCHW batch with integer labels (8 samples, 3x6x6)."""
     x = rng.standard_normal((8, 3, 6, 6))

@@ -98,22 +98,8 @@ class TestShardedGeneration:
         train, _ = generate_dataset(spec, shard_size=256)
         assert np.array_equal(legacy_train.targets, train.targets)
 
-    def test_golden_hashes_pin_v2_stream(self):
-        """The sharded stream is part of the on-disk cache contract.
-
-        If these hashes move, bump the generator version in
-        ``repro.data.pipeline`` — cached entries would otherwise be
-        silently wrong.
-        """
-        spec = small_spec()
-        train, _ = generate_dataset(spec, shard_size=256)
-        digest = hashlib.sha256(np.ascontiguousarray(train.inputs).tobytes()).hexdigest()
-        assert train.inputs.dtype == np.float32
-        assert digest == "df3ca4b85768e3205746e4d92bb1b5ddccc25825555ae6f242bd09bfc9e597da"
-        labels_digest = hashlib.sha256(train.targets.tobytes()).hexdigest()
-        assert labels_digest == (
-            "38f5423cfa8da6e82726d1d040d80be559abdde051d06c2f53965680c499bd02"
-        )
+    # The golden hashes pinning the v2 stream live in
+    # tests/test_golden.py, next to the journal-schema pin.
 
     def test_sharded_distribution_is_separable(self):
         """v2 data keeps the class structure experiments rely on."""

@@ -15,8 +15,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    expand_grid,
-    make_config,
     make_grid,
     resolve_workers,
     run_sweep,
@@ -28,12 +26,6 @@ from repro.experiments import (
 from repro.experiments.cli import build_parser, run_sweep_command
 from repro.experiments.runner import _cache_complete, default_cache_dir
 from repro.io import file_lock
-
-
-def smoke_grid(n=4, method="sgd"):
-    """An n-config single-epoch grid (seed axis) for fast sweeps."""
-    base = make_config("ResNet20-fast", "cifar10_like", method, profile="smoke", epochs=1)
-    return expand_grid(base, seed=list(range(n)))
 
 
 class TestWorkersResolution:
@@ -72,8 +64,8 @@ class TestCacheDirResolution:
 
 
 class TestSerialParallelEquivalence:
-    def test_bit_identical_results(self, tmp_path):
-        configs = smoke_grid(4)
+    def test_bit_identical_results(self, tmp_path, tiny_grid):
+        configs = tiny_grid(4)
         serial_dir, parallel_dir = str(tmp_path / "serial"), str(tmp_path / "parallel")
 
         serial = run_sweep(configs, workers=1, cache_dir=serial_dir)
@@ -93,15 +85,15 @@ class TestSerialParallelEquivalence:
                 for name in a.files:
                     assert np.array_equal(a[name], b[name]), (record.key, name)
 
-    def test_spawn_context_also_works(self, tmp_path):
-        configs = smoke_grid(2)
+    def test_spawn_context_also_works(self, tmp_path, tiny_grid):
+        configs = tiny_grid(2)
         report = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="spawn")
         assert report.n_ok == 2 and report.n_errors == 0
 
 
 class TestCacheAccounting:
-    def test_second_sweep_is_all_hits(self, tmp_path):
-        configs = smoke_grid(4)
+    def test_second_sweep_is_all_hits(self, tmp_path, tiny_grid):
+        configs = tiny_grid(4)
         first = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="fork")
         second = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="fork")
         assert first.cache_hits == 0
@@ -109,14 +101,14 @@ class TestCacheAccounting:
         assert second.cache_hit_rate == 1.0
         assert [r.test_acc for r in first.records] == [r.test_acc for r in second.records]
 
-    def test_duplicate_configs_deduplicated(self, tmp_path):
-        configs = smoke_grid(2)
+    def test_duplicate_configs_deduplicated(self, tmp_path, tiny_grid):
+        configs = tiny_grid(2)
         report = run_sweep(configs + configs, workers=1, cache_dir=str(tmp_path))
         assert len(report.records) == 2
         assert report.deduped == 2
 
-    def test_report_dict_and_format(self, tmp_path):
-        report = run_sweep(smoke_grid(2), workers=1, cache_dir=str(tmp_path))
+    def test_report_dict_and_format(self, tmp_path, tiny_grid):
+        report = run_sweep(tiny_grid(2), workers=1, cache_dir=str(tmp_path))
         payload = report.to_dict()
         assert payload["n_ok"] == 2 and len(payload["runs"]) == 2
         json.dumps(payload)  # JSON-safe
@@ -125,8 +117,8 @@ class TestCacheAccounting:
 
 
 class TestWorkerCrash:
-    def test_crash_contained_and_cache_uncorrupted(self, tmp_path):
-        good = smoke_grid(2)
+    def test_crash_contained_and_cache_uncorrupted(self, tmp_path, tiny_grid):
+        good = tiny_grid(2)
         bad = good[0].with_overrides(dataset="no_such_dataset")
         report = run_sweep(
             good + [bad], workers=2, cache_dir=str(tmp_path), mp_context="fork"
@@ -145,8 +137,8 @@ class TestWorkerCrash:
         again = run_sweep(good, workers=1, cache_dir=str(tmp_path))
         assert again.cache_hits == 2
 
-    def test_partial_entry_is_retrained(self, tmp_path):
-        config = smoke_grid(1)[0]
+    def test_partial_entry_is_retrained(self, tmp_path, tiny_grid):
+        config = tiny_grid(1)[0]
         partial = tmp_path / config.cache_key()
         partial.mkdir()
         (partial / "state.npz").write_bytes(b"torn write")
@@ -183,18 +175,18 @@ class TestFileLock:
             assert p.exitcode == 0
         assert int(open(counter).read()) == 4 * repeats
 
-    def test_parallel_without_cache_rejected(self):
+    def test_parallel_without_cache_rejected(self, tiny_grid):
         with pytest.raises(ValueError):
-            run_sweep(smoke_grid(2), workers=2, cache_dir=None)
+            run_sweep(tiny_grid(2), workers=2, cache_dir=None)
 
 
 class TestWarmCache:
-    def test_serial_is_noop(self, tmp_path):
-        assert warm_cache(smoke_grid(2), workers=1, cache_dir=str(tmp_path)) is None
+    def test_serial_is_noop(self, tmp_path, tiny_grid):
+        assert warm_cache(tiny_grid(2), workers=1, cache_dir=str(tmp_path)) is None
         assert os.listdir(tmp_path) == []
 
-    def test_parallel_populates_cache(self, tmp_path):
-        configs = smoke_grid(2)
+    def test_parallel_populates_cache(self, tmp_path, tiny_grid):
+        configs = tiny_grid(2)
         report = warm_cache(configs, workers=2, cache_dir=str(tmp_path))
         assert report is not None and report.n_ok == 2
         for config in configs:
@@ -202,10 +194,10 @@ class TestWarmCache:
 
 
 class TestDatasetWarmup:
-    def test_parallel_sweep_warms_dataset_cache(self, tmp_path):
+    def test_parallel_sweep_warms_dataset_cache(self, tmp_path, tiny_grid):
         from repro.data import dataset_cache_dir
 
-        configs = smoke_grid(4)
+        configs = tiny_grid(4)
         first = run_sweep(configs, workers=2, cache_dir=str(tmp_path), mp_context="fork")
         dataset_dir = dataset_cache_dir(str(tmp_path))
         assert first.datasets_warmed == 1  # one unique (profile, sizes, dtype)
@@ -218,16 +210,16 @@ class TestDatasetWarmup:
         assert second.dataset_cache_hits == 1
         assert second.cache_hits == 4
 
-    def test_warm_datasets_skips_broken_profiles(self, tmp_path):
+    def test_warm_datasets_skips_broken_profiles(self, tmp_path, tiny_grid):
         from repro.experiments.sweep import warm_datasets
 
-        good = smoke_grid(1)
+        good = tiny_grid(1)
         bad = [good[0].with_overrides(dataset="no_such_dataset")]
         warmed, hits = warm_datasets(good + bad, str(tmp_path))
         assert (warmed, hits) == (1, 0)
 
-    def test_serial_sweep_skips_warm_pass(self, tmp_path):
-        report = run_sweep(smoke_grid(2), workers=1, cache_dir=str(tmp_path))
+    def test_serial_sweep_skips_warm_pass(self, tmp_path, tiny_grid):
+        report = run_sweep(tiny_grid(2), workers=1, cache_dir=str(tmp_path))
         assert report.datasets_warmed == 0
         assert report.dataset_cache_hits == 0
 
@@ -287,9 +279,9 @@ class TestSweepCLI:
         payload = json.load(open(tmp_path / "report.json"))
         assert payload["n_ok"] == 4
 
-    def test_sweep_spec_file(self, tmp_path, monkeypatch):
+    def test_sweep_spec_file(self, tmp_path, monkeypatch, tiny_grid):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-        spec = [config.to_dict() for config in smoke_grid(2)]
+        spec = [config.to_dict() for config in tiny_grid(2)]
         spec_path = tmp_path / "grid.json"
         spec_path.write_text(json.dumps(spec))
         args = build_parser().parse_args(

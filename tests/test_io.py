@@ -1,4 +1,4 @@
-"""Checkpoint save/load and the shared DirectoryCache primitive."""
+"""Checkpoint save/load and the shared DirectoryCache/JsonJournal primitives."""
 
 import os
 from multiprocessing import get_context
@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import History
-from repro.io import DirectoryCache, load_checkpoint, save_checkpoint
+from repro.io import DirectoryCache, JsonJournal, load_checkpoint, save_checkpoint
 from repro.models import create_model
 from repro.optim import SGD
 from repro.tensor import Tensor, no_grad
@@ -101,6 +101,59 @@ def _publish_n(task):
         # from SOME writer, never a torn or missing file.
         assert got in ("red", "blue")
     return True
+
+
+def _journal_bump(task):
+    """Process entry point: increment a counter record repeatedly."""
+    root, repeats = task
+    journal = JsonJournal(root)
+    for _ in range(repeats):
+        journal.update("counter", lambda cur: {"n": (cur["n"] if cur else 0) + 1})
+    return True
+
+
+class TestJsonJournal:
+    def test_read_missing_is_none(self, tmp_path):
+        journal = JsonJournal(str(tmp_path))
+        assert journal.read("nope") is None
+        assert journal.keys() == []
+        assert journal.snapshot() == {}
+
+    def test_update_creates_and_mutates(self, tmp_path):
+        journal = JsonJournal(str(tmp_path))
+        created = journal.update("k", lambda cur: {"state": "pending", "seen": cur})
+        assert created == {"state": "pending", "seen": None}
+        mutated = journal.update("k", lambda cur: dict(cur, state="leased"))
+        assert mutated["state"] == "leased"
+        assert journal.read("k") == mutated
+        assert journal.keys() == ["k"]
+
+    def test_mutate_exception_aborts_transition(self, tmp_path):
+        journal = JsonJournal(str(tmp_path))
+        journal.update("k", lambda cur: {"state": "pending"})
+
+        def explode(cur):
+            raise RuntimeError("claim lost")
+
+        with pytest.raises(RuntimeError):
+            journal.update("k", explode)
+        assert journal.read("k") == {"state": "pending"}
+
+    def test_returning_current_skips_write(self, tmp_path):
+        journal = JsonJournal(str(tmp_path))
+        journal.update("k", lambda cur: {"state": "pending"})
+        before = os.stat(journal.path("k")).st_mtime_ns
+        journal.update("k", lambda cur: cur)  # no-op transition
+        assert os.stat(journal.path("k")).st_mtime_ns == before
+
+    def test_concurrent_updates_serialize(self, tmp_path):
+        """The journal's locked read-modify-write never loses an update."""
+        ctx = get_context("fork")
+        repeats = 25
+        tasks = [(str(tmp_path), repeats)] * 4
+        with ctx.Pool(4) as pool:
+            assert all(pool.map(_journal_bump, tasks))
+        assert JsonJournal(str(tmp_path)).read("counter")["n"] == 4 * repeats
 
 
 class TestDirectoryCache:
