@@ -12,6 +12,14 @@ on the default profile:
   spawned streams), serial and with a worker pool.
 * ``cache_store`` / ``cache_load`` — cold publish and warm memory-map of
   the dataset cache (a warm sweep performs zero generation work).
+* ``rss`` — the **peak-RSS axis**: cold cache writes measured in fresh
+  subprocesses, eager (whole dataset in RAM, then serialized) vs
+  streamed (shards written straight into the staged memmap entry,
+  pages evicted per shard).  The acceptance number is
+  ``rss.streamed.shard_ratio`` — streamed peak growth in units of one
+  shard, which must stay near 1 (< ~1.5) however large the dataset is,
+  while the eager ratio grows with the dataset.  See
+  ``docs/memory-model.md``.
 
 Standalone smoke mode (no pytest-benchmark needed — used by CI)::
 
@@ -26,6 +34,7 @@ import os
 import shutil
 import tempfile
 import time
+from multiprocessing import get_context
 
 import numpy as np
 
@@ -58,6 +67,114 @@ def generate_dataset_loop(spec):
     return splits
 
 
+# ----------------------------------------------------------------------
+# Peak-RSS axis (streamed vs eager cold cache writes)
+# ----------------------------------------------------------------------
+def _proc_status_kb(field):
+    """A ``VmHWM``/``VmRSS``-style field from ``/proc/self/status`` (KiB)."""
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith(field + ":"):
+                return int(line.split()[1])
+    raise KeyError(field)
+
+
+def _reset_peak_rss():
+    """Reset this process's RSS high-water mark (Linux ``clear_refs``).
+
+    Needed because the kernel can carry the parent's high-water mark
+    across fork+exec, which would swamp the probe's own peak; after the
+    reset, ``VmHWM`` tracks only what the probe itself touches.
+    """
+    with open("/proc/self/clear_refs", "w") as fh:
+        fh.write("5")
+
+
+def _rss_probe(mode, train_size, shard_size, cache_dir, conn):
+    """Subprocess entry point: one cold cache write, peak RSS reported.
+
+    Runs in its own interpreter with the peak-RSS counter reset after
+    imports, so the reported delta isolates the writer's working set
+    from both the interpreter+numpy baseline and anything inherited
+    from the bench parent.
+    """
+    spec = resolve_spec(PROFILE, train_size=train_size)
+    _reset_peak_rss()
+    before = _proc_status_kb("VmRSS")
+    load_or_generate(
+        spec,
+        cache_dir=cache_dir,
+        workers=1,
+        shard_size=shard_size,
+        stream=(mode == "streamed"),
+    )
+    peak = _proc_status_kb("VmHWM")
+    conn.send({"before_kb": before, "peak_kb": peak})
+    conn.close()
+
+
+def run_rss_axis(shards=4, shard_size=65_536, out=print):
+    """Measure cold-write peak RSS, eager vs streamed; returns a dict.
+
+    Generates a ``shards``-shard training split (``shards * shard_size``
+    samples) twice into throwaway caches, each write in its own spawned
+    subprocess.  Reported per mode: absolute peak, the delta over the
+    post-import baseline, and that delta in units of one shard
+    (``shard_ratio``) — the streamed writer's acceptance bound is
+    staying below ~1.5 shards regardless of dataset size.
+    """
+    from repro.data.streaming import shard_nbytes
+
+    spec = resolve_spec(PROFILE, train_size=shards * shard_size)
+    shard_bytes = shard_nbytes(spec, shard_size)
+    dataset_bytes = shard_bytes * shards
+    results = {
+        "train_size": spec.train_size,
+        "shards": shards,
+        "shard_size": shard_size,
+        "shard_mb": shard_bytes / 2**20,
+        "dataset_mb": dataset_bytes / 2**20,
+    }
+    ctx = get_context("spawn")
+    for mode in ("eager", "streamed"):
+        cache_dir = tempfile.mkdtemp(prefix=f"bench-datagen-rss-{mode}.")
+        try:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_rss_probe,
+                args=(mode, spec.train_size, shard_size, cache_dir, child_conn),
+            )
+            proc.start()
+            child_conn.close()
+            try:
+                payload = parent_conn.recv()
+            except EOFError:
+                proc.join()
+                raise RuntimeError(
+                    f"rss probe subprocess ({mode}) died with exit code "
+                    f"{proc.exitcode} before reporting"
+                ) from None
+            proc.join()
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        # /proc/self/status values are KiB; the axis targets Linux (CI).
+        delta = max(0, payload["peak_kb"] - payload["before_kb"]) * 1024
+        results[mode] = {
+            "peak_kb": payload["peak_kb"],
+            "delta_mb": delta / 2**20,
+            "shard_ratio": delta / shard_bytes,
+        }
+        out(
+            f"rss {mode:9s} write:  {delta / 2**20:8.1f} MB over baseline "
+            f"({results[mode]['shard_ratio']:.2f} shards of {shard_bytes / 2**20:.0f} MB; "
+            f"dataset {dataset_bytes / 2**20:.0f} MB)"
+        )
+    ratio = results["streamed"]["shard_ratio"]
+    if ratio > 1.5:
+        out(f"WARNING: streamed peak RSS is {ratio:.2f} shards (expected < ~1.5)")
+    return results
+
+
 # The pytest-benchmark datagen axis lives in benchmarks/bench_engine.py;
 # this module is the standalone smoke tool CI runs.
 def _best_of(fn, rounds=3, warmup=1):
@@ -79,12 +196,22 @@ def _best_of(fn, rounds=3, warmup=1):
     return min(times), result
 
 
-def run_smoke(train_size=50_000, workers=None, rounds=3, out=print):
+def run_smoke(
+    train_size=50_000,
+    workers=None,
+    rounds=3,
+    rss=True,
+    rss_shards=4,
+    rss_shard_size=65_536,
+    out=print,
+):
     """Time every pipeline stage (best of ``rounds``); returns a JSON dict.
 
     ``speedups`` are ratios of the seed loop's sampling time to each
     pipeline variant's time for the same work (the acceptance number is
-    ``speedups["sharded"]``); cache timings are absolute seconds.
+    ``speedups["sharded"]``); cache timings are absolute seconds.  The
+    peak-RSS axis (``rss`` key, see :func:`run_rss_axis`) compares the
+    eager and streamed cold-write working sets.
     """
     workers = workers or (os.cpu_count() or 1)
     spec, prototypes, labels = _setup(train_size)
@@ -145,6 +272,14 @@ def run_smoke(train_size=50_000, workers=None, rounds=3, out=print):
         "vectorized": t_loop / t_vec,
         "sharded": t_loop / best_sharded,
     }
+    if rss:
+        try:
+            results["rss"] = run_rss_axis(
+                shards=rss_shards, shard_size=rss_shard_size, out=out
+            )
+        except Exception as exc:  # non-Linux host, /proc unavailable, ...
+            out(f"rss axis skipped: {type(exc).__name__}: {exc}")
+            results["rss"] = {"error": f"{type(exc).__name__}: {exc}"}
     return results
 
 
@@ -156,9 +291,32 @@ def main(argv=None):
     parser.add_argument(
         "--workers", type=int, default=None, help="pool size for the sharded pass"
     )
+    parser.add_argument(
+        "--no-rss",
+        action="store_true",
+        help="skip the peak-RSS axis (streamed vs eager cold cache writes)",
+    )
+    parser.add_argument(
+        "--rss-shards",
+        type=int,
+        default=4,
+        help="shards in the RSS axis's training split (default: 4)",
+    )
+    parser.add_argument(
+        "--rss-shard-size",
+        type=int,
+        default=65_536,
+        help="samples per shard for the RSS axis (default: 65536, ~48 MB)",
+    )
     parser.add_argument("--json", default=None, help="write timings to this JSON path")
     args = parser.parse_args(argv)
-    results = run_smoke(train_size=args.train_size, workers=args.workers)
+    results = run_smoke(
+        train_size=args.train_size,
+        workers=args.workers,
+        rss=not args.no_rss,
+        rss_shards=args.rss_shards,
+        rss_shard_size=args.rss_shard_size,
+    )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(results, fh, indent=2)

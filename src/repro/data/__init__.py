@@ -15,8 +15,10 @@ from .pipeline import (
     load_or_generate,
     plan_shards,
     resolve_spec,
+    should_stream,
     warm_dataset,
 )
+from .streaming import StreamReport, evict, stream_dataset
 from .toy import two_moons, spirals, gaussian_blobs, train_test_split
 from .augment import random_crop, random_horizontal_flip, standard_augment
 from .noisy_labels import corrupt_symmetric, corrupt_dataset
@@ -29,7 +31,11 @@ __all__ = [
     "load_or_generate",
     "plan_shards",
     "resolve_spec",
+    "should_stream",
     "warm_dataset",
+    "StreamReport",
+    "evict",
+    "stream_dataset",
     "ArrayDataset",
     "DataLoader",
     "SyntheticSpec",

@@ -19,6 +19,12 @@ usable on its own:
    inter-process locks).  A warm entry is **memory-mapped**, so many
    sweep workers share one copy of the arrays instead of each
    regenerating them.
+4. **Streaming writer** — datasets larger than one shard are, by
+   default, streamed shard-by-shard straight into the staged cache
+   entry (:mod:`repro.data.streaming`): pre-allocated memmaps, a
+   per-shard completion journal (interrupted generation resumes only
+   missing shards), peak RSS near one shard per writer, bit-identical
+   bytes to the eager path.  See ``docs/memory-model.md``.
 
 Generator versions
 ------------------
@@ -184,6 +190,26 @@ def split_generator_id(total, shard_size=None):
     return f"v{GENERATOR_VERSION}.s{shard_size}"
 
 
+def should_stream(spec, shard_size=None):
+    """Whether the auto policy streams ``spec`` to disk during generation.
+
+    Streaming pays off exactly when a dataset is big enough to shard:
+    a multi-shard dataset is written shard-by-shard into the staged
+    cache entry (resumable, ~one shard resident) instead of being
+    materialized in RAM first.  Single-shard datasets — every paper
+    experiment — keep the eager path.  Explicit ``stream=True/False``
+    on the generation entry points overrides this policy.
+    """
+    shard_size = _resolve_shard_size(shard_size)
+    return max(spec.train_size, spec.test_size) > shard_size
+
+
+def _split_labels_for(spec, split_offset):
+    """The deterministic label array of one sharded (v2) split."""
+    total = spec.train_size if split_offset == TRAIN_SPLIT else spec.test_size
+    return _split_labels(spec, total, np.random.default_rng(spec.seed + split_offset))
+
+
 #: Samples per in-shard processing block.  Sized so one block's working
 #: set (output, gathered prototypes, noise) stays cache-resident.  The
 #: sampled values are block-size invariant (``standard_normal(out=...)``
@@ -330,7 +356,7 @@ def generate_dataset(spec, workers=None, shard_size=None, mp_context="spawn"):
             images, labels = _generate_split(spec, prototypes, total, split_rng)
             splits[split_offset] = (images, labels)
             continue
-        labels = _split_labels(spec, total, np.random.default_rng(spec.seed + split_offset))
+        labels = _split_labels_for(spec, split_offset)
         images = np.empty((total, spec.channels, size, size), dtype=default_dtype())
         splits[split_offset] = (images, labels)
         for index, (start, stop) in enumerate(shards):
@@ -405,22 +431,63 @@ def _load_entry(path):
     return train, test
 
 
-def load_or_generate(spec, cache_dir=None, workers=None, shard_size=None, mp_context="spawn"):
+def load_or_generate(
+    spec,
+    cache_dir=None,
+    workers=None,
+    shard_size=None,
+    mp_context="spawn",
+    stream=None,
+    max_resident_mb=None,
+):
     """Datasets for ``spec`` under the ambient engine dtype, cached on disk.
 
     With a ``cache_dir``, a warm entry is returned as memory-mapped
     arrays (zero generation work — the acceptance path for repeated
-    sweeps); a cold one is generated (sharded, optionally parallel),
-    published atomically, and returned.  Without a ``cache_dir`` this
-    is pure generation, exactly as the seed code behaved.
+    sweeps); a cold one is generated, published atomically, and
+    returned.  Without a ``cache_dir`` this is pure in-RAM generation,
+    exactly as the seed code behaved.
+
+    ``stream`` picks the cold-entry writer: ``True`` streams shards
+    directly into the staged cache entry (resumable, ~one shard
+    resident per writer — :mod:`repro.data.streaming`), ``False``
+    forces the eager in-RAM path, and ``None`` (default) streams
+    exactly when the dataset is larger than one shard
+    (:func:`should_stream`).  Both writers produce bit-identical
+    entries.  ``max_resident_mb`` bounds the streamed writer's
+    in-flight shard memory.  A streamed cold entry is returned
+    memory-mapped, like a warm hit.
     """
     if not cache_dir:
+        if stream:
+            raise ValueError(
+                "streamed generation writes through the dataset cache; "
+                "pass cache_dir or drop stream=True"
+            )
         return generate_dataset(spec, workers=workers, shard_size=shard_size, mp_context=mp_context)
     cache = dataset_cache(cache_dir)
     key = dataset_cache_key(spec, dtype=None, shard_size=shard_size)
     entry = cache.fetch(key, _load_entry)
     if entry is not None:
         return entry
+    use_stream = stream if stream is not None else should_stream(spec, shard_size)
+    if use_stream:
+        from .streaming import stream_dataset
+
+        stream_dataset(
+            spec,
+            cache_dir,
+            workers=workers,
+            shard_size=shard_size,
+            max_resident_mb=max_resident_mb,
+            mp_context=mp_context,
+        )
+        entry = cache.fetch(key, _load_entry)
+        if entry is not None:
+            return entry
+        # Defensive: the committed entry vanished between commit and
+        # fetch (only an external wipe can do this) — fall through and
+        # regenerate eagerly rather than fail the caller.
     train, test = generate_dataset(
         spec, workers=workers, shard_size=shard_size, mp_context=mp_context
     )
@@ -444,13 +511,26 @@ def load_or_generate(spec, cache_dir=None, workers=None, shard_size=None, mp_con
     return train, test
 
 
-def warm_dataset(spec, cache_dir, workers=None, shard_size=None, mp_context="spawn"):
+def warm_dataset(
+    spec,
+    cache_dir,
+    workers=None,
+    shard_size=None,
+    mp_context="spawn",
+    stream=None,
+    max_resident_mb=None,
+):
     """Ensure the cache entry for ``spec`` exists; returns ``(key, hit)``.
 
     ``hit`` is True when the entry was already complete (no generation
     performed).  The sweep engine calls this for every unique dataset
     signature in a grid *before* dispatching training workers, so the
     workers memory-map shared arrays instead of regenerating them.
+    ``stream``/``max_resident_mb`` select and bound the streamed shard
+    writer exactly as in :func:`load_or_generate` (default: stream any
+    dataset larger than one shard), so warming a million-sample grid
+    never materializes a dataset in RAM; for per-shard accounting of a
+    warm pass use :func:`repro.data.streaming.stream_dataset` directly.
     """
     if not cache_dir:
         raise ValueError("warm_dataset needs a cache_dir to warm")
@@ -458,6 +538,12 @@ def warm_dataset(spec, cache_dir, workers=None, shard_size=None, mp_context="spa
     if dataset_cache(cache_dir).complete(key):
         return key, True
     load_or_generate(
-        spec, cache_dir=cache_dir, workers=workers, shard_size=shard_size, mp_context=mp_context
+        spec,
+        cache_dir=cache_dir,
+        workers=workers,
+        shard_size=shard_size,
+        mp_context=mp_context,
+        stream=stream,
+        max_resident_mb=max_resident_mb,
     )
     return key, False

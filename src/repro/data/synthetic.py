@@ -260,6 +260,8 @@ def make_dataset(
     cache_dir=None,
     workers=None,
     shard_size=None,
+    stream=None,
+    max_resident_mb=None,
 ):
     """Instantiate a named profile, optionally overriding its scale.
 
@@ -272,12 +274,21 @@ def make_dataset(
     (see :mod:`repro.data.pipeline`); they never change the generated
     values — shard layout is a pure function of the spec and
     ``shard_size``, and the default small-dataset stream is identical
-    to the seed generator.
+    to the seed generator.  ``stream`` selects the streaming shard
+    writer for cold cache entries (default: automatic for multi-shard
+    datasets — resumable and never whole-in-RAM; see
+    :mod:`repro.data.streaming`) and ``max_resident_mb`` bounds its
+    in-flight shard memory; neither changes the generated bytes.
     """
     from .pipeline import load_or_generate, resolve_spec
 
     spec = resolve_spec(profile, seed=seed, train_size=train_size, test_size=test_size)
     train, test = load_or_generate(
-        spec, cache_dir=cache_dir, workers=workers, shard_size=shard_size
+        spec,
+        cache_dir=cache_dir,
+        workers=workers,
+        shard_size=shard_size,
+        stream=stream,
+        max_resident_mb=max_resident_mb,
     )
     return train, test, spec

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments sweep --scheduler queue --workers 4
     python -m repro.experiments worker --queue grid-1a2b3c4d5e6f
     python -m repro.experiments datagen --datasets cifar10_like --train-size 50000
+    python -m repro.experiments datagen --train-size 1000000 --max-resident-mb 256
 
 Each artifact prints its rendered table/figure and the paper-shape
 check result; ``--json`` additionally dumps the raw numbers.  The
@@ -20,8 +21,11 @@ work-stealing queue instead of the fixed pool.  The ``worker`` verb
 joins such a queue from any process — any machine sharing the cache
 directory — and drains tasks until the queue is empty (see
 ``docs/scheduler.md``).  The ``datagen`` verb pre-warms the on-disk
-dataset cache that sweep workers memory-map (see
-``docs/data-pipeline.md``).
+dataset cache that sweep workers memory-map — multi-shard datasets
+stream straight into the staged entry (resumable after an interrupt,
+~one shard resident per writer; see ``docs/data-pipeline.md`` and
+``docs/memory-model.md``) and the per-shard generated/cached mix is
+reported for each split.
 """
 
 import argparse
@@ -212,7 +216,7 @@ def build_parser():
         help="worker verb: exit at the first idle scan instead of waiting "
         "for the queue to drain",
     )
-    datagen_group = parser.add_argument_group("dataset generation (datagen verb only)")
+    datagen_group = parser.add_argument_group("dataset generation (datagen/sweep verbs)")
     datagen_group.add_argument(
         "--train-size", type=int, default=None, help="override each profile's train size"
     )
@@ -224,6 +228,21 @@ def build_parser():
         type=int,
         default=None,
         help="samples per generation shard (default: repro.data.pipeline default)",
+    )
+    datagen_group.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="stream shards straight into the staged cache entry "
+        "(resumable, ~one shard resident per writer); --no-stream forces "
+        "the eager in-RAM writer (default: stream any multi-shard dataset)",
+    )
+    datagen_group.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        help="cap the streamed writer's in-flight shard memory (MB) by "
+        "clamping how many workers may hold a shard at once",
     )
     return parser
 
@@ -267,6 +286,8 @@ def run_sweep_command(args, out=sys.stdout):
         scheduler=args.scheduler,
         queue_name=args.queue,
         lease_timeout=args.lease_timeout,
+        stream=args.stream,
+        max_resident_mb=args.max_resident_mb,
     )
     print(format_sweep(report), file=out)
     if args.json:
@@ -338,15 +359,40 @@ def run_worker_command(args, out=sys.stdout):
     return 1 if counts["error"] else 0
 
 
+def _datagen_eager_splits(spec, shard_size, hit):
+    """Shard accounting for the eager writer (all-or-nothing per entry)."""
+    from ..data import plan_shards
+
+    splits = []
+    for name, total in (("train", spec.train_size), ("test", spec.test_size)):
+        shards = len(plan_shards(total, shard_size))
+        splits.append(
+            {
+                "split": name,
+                "shards": shards,
+                "generated": [] if hit else list(range(shards)),
+                "resumed": [],
+                "cached": shards if hit else 0,
+            }
+        )
+    return splits
+
+
 def run_datagen_command(args, out=sys.stdout):
     """The ``datagen`` verb: pre-warm the on-disk dataset cache.
 
-    Generates (sharded, ``--workers``-parallel) every ``--datasets``
-    profile at the requested sizes into the dataset cache the sweep
-    workers will memory-map.  Returns 0 on success (a warm entry counts
-    as success); returns 1 when the dataset cache is disabled, since
-    there is nothing to warm.
+    Generates every ``--datasets`` profile at the requested sizes into
+    the dataset cache the sweep workers will memory-map — streamed
+    shard-by-shard for multi-shard datasets (``--stream``/``--no-stream``
+    to override, ``--max-resident-mb`` to bound writer memory), eager
+    otherwise.  Each dataset is reported at **shard granularity**:
+    shards generated this run vs shards served from the cache (a
+    resumed interrupt shows up as a mix).  Returns 0 on success (a warm
+    entry counts as success); returns 1 when the dataset cache is
+    disabled, since there is nothing to warm.
     """
+    from ..data import should_stream, stream_dataset
+
     cache_dir = dataset_cache_dir(default_cache_dir())
     if not cache_dir:
         print(
@@ -359,18 +405,59 @@ def run_datagen_command(args, out=sys.stdout):
     results = []
     for profile in _csv(args.datasets):
         spec = resolve_spec(profile, train_size=args.train_size, test_size=args.test_size)
+        streamed = args.stream if args.stream is not None else should_stream(spec, args.shard_size)
         start = time.perf_counter()
-        key, hit = warm_dataset(
-            spec, cache_dir, workers=workers, shard_size=args.shard_size
-        )
+        if streamed:
+            report = stream_dataset(
+                spec,
+                cache_dir,
+                workers=workers,
+                shard_size=args.shard_size,
+                max_resident_mb=args.max_resident_mb,
+            )
+            key, hit = report.key, report.hit
+            resumed_only = not hit and report.n_generated == 0
+            splits = report.to_dict()["splits"]
+        else:
+            key, hit = warm_dataset(
+                spec, cache_dir, workers=workers, shard_size=args.shard_size, stream=False
+            )
+            resumed_only = False
+            splits = _datagen_eager_splits(spec, args.shard_size, hit)
         seconds = time.perf_counter() - start
-        results.append({"profile": profile, "key": key, "hit": hit, "seconds": seconds})
-        status = "cached" if hit else f"generated in {seconds:.2f}s"
+        results.append(
+            {
+                "profile": profile,
+                "key": key,
+                "hit": hit,
+                "seconds": seconds,
+                "streamed": streamed,
+                "splits": splits,
+            }
+        )
+        if hit:
+            status = "cached"
+        elif resumed_only:
+            # every shard was journaled done; this run only committed
+            status = f"resumed in {seconds:.2f}s"
+        else:
+            status = f"generated in {seconds:.2f}s"
         print(
             f"{profile}: {spec.train_size}+{spec.test_size} samples -> "
             f"{key} ({status})",
             file=out,
         )
+        for split in splits:
+            shards = split["shards"]
+            parts = []
+            if split["generated"]:
+                parts.append(f"{len(split['generated'])} generated")
+            if split["cached"]:
+                parts.append(f"{split['cached']} cached")
+            print(
+                f"  {split['split']}: {shards} shard(s) — " + ", ".join(parts),
+                file=out,
+            )
     print(f"dataset cache: {cache_dir}", file=out)
     if args.json:
         save_json({"cache_dir": cache_dir, "datasets": results}, args.json)

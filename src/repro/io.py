@@ -112,6 +112,16 @@ class DirectoryCache:
 
     The run cache (``repro.experiments.runner``) and the dataset cache
     (``repro.data.pipeline``) are both instances of this class.
+
+    Besides the one-shot :meth:`publish` (stage in a fresh temp dir,
+    rename), an entry can be built **incrementally** in a *stable*
+    staging directory (:meth:`staging_path`) that survives crashes:
+    the streaming dataset writer (:mod:`repro.data.streaming`)
+    pre-allocates memmaps there, resumes interrupted work across
+    process lifetimes, and finally :meth:`commit_staging` renames the
+    staged directory into place under the same per-key lock
+    :meth:`publish` uses.  Readers are oblivious to which path built
+    an entry.
     """
 
     def __init__(self, root, manifest):
@@ -124,6 +134,44 @@ class DirectoryCache:
 
     def lock_path(self, key):
         return self.entry_path(key) + ".lock"
+
+    def staging_path(self, key):
+        """Stable staging directory for incremental builds of ``key``.
+
+        Unlike :meth:`publish`'s throwaway temp dir, this path is a
+        pure function of the key, so a builder killed mid-write finds
+        its partial work again on the next attempt.  Callers own the
+        directory's lifecycle (create, validate staleness, resume or
+        wipe) and serialize among themselves — the streaming writer
+        holds :func:`file_lock` on ``staging_path(key) + ".lock"`` for
+        the whole build.
+        """
+        return self.entry_path(key) + ".staging"
+
+    def commit_staging(self, key):
+        """Atomically promote the staged directory to the live entry.
+
+        Validates the staged manifest, then renames the staging
+        directory over the entry under the per-key lock (replacing any
+        previous entry wholesale) — the same last-writer-wins
+        discipline as :meth:`publish`.  Returns the entry path.
+        """
+        staging = self.staging_path(key)
+        missing = [n for n in self.manifest if not os.path.exists(os.path.join(staging, n))]
+        if missing:
+            raise ValueError(
+                f"staged build for {key!r} is missing manifest files: {missing}"
+            )
+        path = self.entry_path(key)
+        with file_lock(self.lock_path(key)):
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+            os.rename(staging, path)
+        return path
+
+    def discard_staging(self, key):
+        """Remove any staged build of ``key`` (idempotent)."""
+        shutil.rmtree(self.staging_path(key), ignore_errors=True)
 
     def complete(self, key):
         """True when every manifest file of ``key`` exists (no lock taken)."""

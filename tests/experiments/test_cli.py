@@ -4,7 +4,12 @@ import io
 
 import pytest
 
-from repro.experiments.cli import ARTIFACTS, build_parser, run_artifact
+from repro.experiments.cli import (
+    ARTIFACTS,
+    build_parser,
+    run_artifact,
+    run_datagen_command,
+)
 
 
 class TestParser:
@@ -25,6 +30,95 @@ class TestParser:
     def test_every_paper_artifact_registered(self):
         for name in ("table1", "table2", "table3", "fig1", "fig2", "fig3"):
             assert name in ARTIFACTS
+
+    def test_datagen_stream_flags(self):
+        args = build_parser().parse_args(["datagen", "--stream", "--max-resident-mb", "256"])
+        assert args.stream is True and args.max_resident_mb == 256.0
+        assert build_parser().parse_args(["datagen", "--no-stream"]).stream is False
+        assert build_parser().parse_args(["datagen"]).stream is None  # auto
+
+
+class TestDatagenCommand:
+    def _args(self, extra=()):
+        return build_parser().parse_args(
+            [
+                "datagen",
+                "--datasets",
+                "cifar10_like",
+                "--train-size",
+                "600",
+                "--test-size",
+                "64",
+                "--shard-size",
+                "256",
+                *extra,
+            ]
+        )
+
+    def test_reports_per_shard_then_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        out = io.StringIO()
+        assert run_datagen_command(self._args(), out=out) == 0
+        text = out.getvalue()
+        assert "train: 3 shard(s) — 3 generated" in text
+        assert "test: 1 shard(s) — 1 generated" in text
+
+        again = io.StringIO()
+        assert run_datagen_command(self._args(), out=again) == 0
+        text = again.getvalue()
+        assert "(cached)" in text
+        assert "train: 3 shard(s) — 3 cached" in text
+        assert "test: 1 shard(s) — 1 cached" in text
+
+    def test_interrupted_before_commit_reports_resumed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        from repro.data import resolve_spec, stream_dataset
+        from repro.data.pipeline import dataset_cache_dir
+
+        spec = resolve_spec("cifar10_like", train_size=600, test_size=64)
+        seen = []
+
+        def die_before_commit(split, index, state):
+            seen.append(index)
+            if len(seen) == 4:  # every shard journaled done, commit pending
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            stream_dataset(
+                spec,
+                dataset_cache_dir(str(tmp_path)),
+                shard_size=256,
+                progress=die_before_commit,
+            )
+        out = io.StringIO()
+        assert run_datagen_command(self._args(), out=out) == 0
+        text = out.getvalue()
+        assert "resumed in" in text  # committed this run, zero generation
+        assert "train: 3 shard(s) — 3 cached" in text
+
+    def test_no_stream_reports_whole_entry_shards(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        out = io.StringIO()
+        assert run_datagen_command(self._args(["--no-stream"]), out=out) == 0
+        assert "train: 3 shard(s) — 3 generated" in out.getvalue()
+
+    def test_json_report_carries_split_stats(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DATASET_CACHE", raising=False)
+        args = self._args(["--json", str(tmp_path / "report.json")])
+        assert run_datagen_command(args, out=io.StringIO()) == 0
+        import json
+
+        with open(tmp_path / "report.json") as fh:
+            payload = json.load(fh)
+        (dataset,) = payload["datasets"]
+        assert dataset["streamed"] is True
+        by_split = {s["split"]: s for s in dataset["splits"]}
+        assert by_split["train"]["shards"] == 3
+        assert by_split["train"]["generated"] == [0, 1, 2]
 
 
 class TestRunArtifact:

@@ -73,6 +73,8 @@ def test_relative_links_resolve(doc):
 def test_docs_exist_and_nonempty():
     assert "docs/architecture.md" in DOC_FILES
     assert "docs/data-pipeline.md" in DOC_FILES
+    assert "docs/memory-model.md" in DOC_FILES
+    assert "docs/scheduler.md" in DOC_FILES
     for doc in DOC_FILES:
         with open(os.path.join(REPO_ROOT, doc)) as fh:
             assert len(fh.read()) > 200, f"{doc} is suspiciously empty"
@@ -82,3 +84,4 @@ def test_readme_links_docs_site():
     targets = {t.partition("#")[0] for t in markdown_links("README.md")}
     assert "docs/architecture.md" in targets
     assert "docs/data-pipeline.md" in targets
+    assert "docs/memory-model.md" in targets

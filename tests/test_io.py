@@ -195,6 +195,51 @@ class TestDirectoryCache:
             cache.publish("key", _write_payload)
         assert not cache.complete("key")
 
+    def test_staging_path_is_stable(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        assert cache.staging_path("key") == cache.staging_path("key")
+        assert cache.staging_path("key") == str(tmp_path / "key.staging")
+
+    def test_commit_staging_promotes_incremental_build(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        staging = cache.staging_path("key")
+        os.makedirs(staging)
+        with open(os.path.join(staging, "data.txt"), "w") as fh:
+            fh.write("payload")
+        path = cache.commit_staging("key")
+        assert path == cache.entry_path("key")
+        assert cache.complete("key")
+        assert cache.fetch("key", _read_payload) == "payload"
+        assert not os.path.exists(staging)
+
+    def test_commit_staging_rejects_missing_manifest(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt", "meta.json"))
+        staging = cache.staging_path("key")
+        os.makedirs(staging)
+        with open(os.path.join(staging, "data.txt"), "w") as fh:
+            fh.write("payload")
+        with pytest.raises(ValueError):
+            cache.commit_staging("key")
+        assert os.path.exists(staging)  # staged work survives for a resume
+        assert not cache.complete("key")
+
+    def test_commit_staging_replaces_previous_entry(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        cache.publish("key", lambda tmp: _write_payload(tmp, "old"))
+        staging = cache.staging_path("key")
+        os.makedirs(staging)
+        with open(os.path.join(staging, "data.txt"), "w") as fh:
+            fh.write("new")
+        cache.commit_staging("key")
+        assert cache.fetch("key", _read_payload) == "new"
+
+    def test_discard_staging_is_idempotent(self, tmp_path):
+        cache = DirectoryCache(str(tmp_path), ("data.txt",))
+        cache.discard_staging("key")  # nothing staged: no-op
+        os.makedirs(cache.staging_path("key"))
+        cache.discard_staging("key")
+        assert not os.path.exists(cache.staging_path("key"))
+
     def test_concurrent_publishers_stay_atomic(self, tmp_path):
         ctx = get_context("fork")
         tasks = [(str(tmp_path), color, 10) for color in ("red", "blue") * 2]
