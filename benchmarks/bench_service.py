@@ -1,0 +1,149 @@
+"""Fleet service benchmark: snapshot-read latency and restart latency.
+
+Two numbers bound how the service behaves operationally:
+
+* **Snapshot latency** — how long `queue-status` takes to assemble its
+  document over a populated queue plus live heartbeat files.  The
+  build is lock-free by construction, so this should stay flat while
+  workers hammer the journal; it bounds how aggressively a dashboard
+  can poll.
+* **Restart latency** — wall-clock from SIGKILLing a fleet worker to
+  the supervisor having respawned its slot (fresh worker identity).
+  Dominated by the supervisor's poll interval; it bounds how long a
+  slot sits empty after a crash.
+
+Standalone smoke mode (no pytest-benchmark needed — used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --tasks 64 \
+        --kills 3 --json results/service.json
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import statistics
+import tempfile
+import time
+
+from repro.experiments import (
+    RunRecord,
+    TaskQueue,
+    expand_grid,
+    make_config,
+)
+from repro.service import FleetSupervisor, Heartbeat, build_status
+from repro.tensor import dtype_name
+
+
+def smoke_grid(n):
+    base = make_config(
+        "ResNet20-fast", "cifar10_like", "sgd", profile="smoke", epochs=1
+    )
+    base = base.with_overrides(dtype=dtype_name(None))
+    return expand_grid(base, seed=list(range(n)))
+
+
+def bench_snapshot_latency(tasks, reps, workers=4):
+    """Seconds per ``build_status`` over a half-drained queue."""
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        configs = smoke_grid(tasks)
+        queue = TaskQueue.create(tmp, "bench")
+        queue.enqueue(configs)
+        # resolve half the tasks so throughput/ETA estimation runs too
+        for config in configs[: tasks // 2]:
+            entry = queue.claim("bench-worker")
+            record = RunRecord(
+                key=entry["key"], config=config, status="ok", seconds=0.01
+            )
+            queue.resolve(entry["key"], "bench-worker", record)
+        beats = [Heartbeat(tmp, f"bench-{i}@host") for i in range(workers)]
+        for beat in beats:
+            beat.beat(state="running", force=True)
+        latencies = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            status = build_status(tmp)
+            latencies.append(time.perf_counter() - start)
+        assert status["totals"]["tasks"] == tasks
+        assert len(status["workers"]) == workers
+        for beat in beats:
+            beat.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "tasks": tasks,
+        "heartbeats": workers,
+        "reps": reps,
+        "mean_s": statistics.mean(latencies),
+        "p50_s": statistics.median(latencies),
+        "max_s": max(latencies),
+    }
+
+
+def bench_restart_latency(kills, poll=0.05):
+    """Seconds from SIGKILLing a worker to its slot being respawned."""
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    supervisor = FleetSupervisor(
+        tmp,
+        workers=1,
+        poll=poll,
+        worker_poll=0.05,
+        heartbeat_interval=0.5,
+        mp_context="fork",
+    )
+    latencies = []
+    try:
+        supervisor.start()
+        for _ in range(kills):
+            slot = supervisor.slots[0]
+            os.kill(slot["proc"].pid, signal.SIGKILL)
+            start = time.perf_counter()
+            while True:
+                if supervisor.monitor_once()["restarted"]:
+                    break
+                time.sleep(poll)
+            latencies.append(time.perf_counter() - start)
+    finally:
+        supervisor.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "kills": kills,
+        "poll_s": poll,
+        "mean_s": statistics.mean(latencies),
+        "max_s": max(latencies),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=64, help="queue size")
+    parser.add_argument("--reps", type=int, default=50, help="snapshot reads")
+    parser.add_argument("--kills", type=int, default=3, help="SIGKILL rounds")
+    parser.add_argument("--json", help="dump raw timings to this path")
+    args = parser.parse_args(argv)
+
+    snapshot = bench_snapshot_latency(args.tasks, args.reps)
+    print(
+        f"queue-status over {snapshot['tasks']} tasks "
+        f"({snapshot['reps']} reads): mean {snapshot['mean_s'] * 1e3:.1f}ms, "
+        f"p50 {snapshot['p50_s'] * 1e3:.1f}ms, max {snapshot['max_s'] * 1e3:.1f}ms"
+    )
+    restart = bench_restart_latency(args.kills)
+    print(
+        f"worker restart ({restart['kills']} SIGKILLs, poll {restart['poll_s']}s): "
+        f"mean {restart['mean_s'] * 1e3:.0f}ms, max {restart['max_s'] * 1e3:.0f}ms"
+    )
+    payload = {"snapshot": snapshot, "restart": restart}
+    if args.json:
+        os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"raw timings -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

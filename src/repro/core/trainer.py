@@ -23,6 +23,18 @@ class Callback:
     def on_epoch_end(self, trainer, epoch, logs):
         """``logs`` is the dict for this epoch; mutate it to add metrics."""
 
+    def on_step_end(self, trainer, step):
+        """Called after every optimizer step (``step`` counts from 0).
+
+        The only hook inside the batch loop, so it is where anything
+        that must outlive a *single long epoch* plugs in — the sweep
+        fleet's lease-renewal heartbeat
+        (:class:`repro.experiments.scheduler.StepLeaseRenewal`) renews
+        here so a ``full``-profile run survives a lease timeout shorter
+        than one epoch.  Implementations must be cheap (they run once
+        per batch) and must not mutate model or optimizer state.
+        """
+
     def on_train_end(self, trainer):
         pass
 
@@ -62,6 +74,7 @@ class Trainer:
         self.params = [p for p in model.parameters()]
         self.history = History()
         self.stop_requested = False
+        self.global_step = 0  #: optimizer steps taken across all epochs
 
     # ------------------------------------------------------------------
     def training_step(self, x, y):
@@ -117,9 +130,17 @@ class Trainer:
 
                 clip_grad_norm_(self.params, self.grad_clip)
             self.optimizer.step()
+            for callback in self.callbacks:
+                callback.on_step_end(self, self.global_step)
+            self.global_step += 1
             batch = len(y)
             loss_meter.update(loss_value, batch)
             acc_meter.update(correct_count(logits, y) / batch, batch)
+            if self.stop_requested:
+                # A step callback may abandon the run mid-epoch (e.g. a
+                # fleet worker whose lease was stolen — its result will
+                # be discarded, so finishing the epoch is pure waste).
+                break
         return {
             "epoch": epoch,
             "lr": self.optimizer.lr,

@@ -8,7 +8,10 @@ Usage::
     python -m repro.experiments sweep --profile smoke --workers 4
     python -m repro.experiments sweep --spec grid.json --json report.json
     python -m repro.experiments sweep --scheduler queue --workers 4
+    python -m repro.experiments sweep --scheduler queue --workers 0   # submit to a fleet
     python -m repro.experiments worker --queue grid-1a2b3c4d5e6f
+    python -m repro.experiments serve --workers 4
+    python -m repro.experiments queue-status --json -
     python -m repro.experiments datagen --datasets cifar10_like --train-size 50000
     python -m repro.experiments datagen --train-size 1000000 --max-resident-mb 256
 
@@ -20,7 +23,14 @@ hits; ``--scheduler queue`` routes it through the durable, resumable
 work-stealing queue instead of the fixed pool.  The ``worker`` verb
 joins such a queue from any process — any machine sharing the cache
 directory — and drains tasks until the queue is empty (see
-``docs/scheduler.md``).  The ``datagen`` verb pre-warms the on-disk
+``docs/scheduler.md``).  The ``serve`` verb runs the long-lived fleet
+supervisor (:mod:`repro.service`): a resident pool of multi-queue
+workers that survives across sweeps, restarts workers that die and
+quarantines poison configs; ``sweep --scheduler queue --workers 0``
+submits a grid to such a fleet without spawning any processes of its
+own.  ``queue-status`` prints (or with ``--json`` dumps) the fleet's
+versioned health snapshot — built entirely from lock-free reads, safe
+to run while workers are live (see ``docs/fleet.md``).  The ``datagen`` verb pre-warms the on-disk
 dataset cache that sweep workers memory-map — multi-shard datasets
 stream straight into the staged entry (resumable after an interrupt,
 ~one shard resident per writer; see ``docs/data-pipeline.md`` and
@@ -123,10 +133,13 @@ def build_parser():
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all", "sweep", "worker", "datagen"],
+        choices=sorted(ARTIFACTS)
+        + ["all", "sweep", "worker", "serve", "queue-status", "datagen"],
         help="which paper artifact to regenerate, 'sweep' to run a grid "
         "directly, 'worker' to join a sweep queue as a work-stealing "
-        "worker, or 'datagen' to pre-warm the dataset cache",
+        "worker, 'serve' to run the long-lived fleet supervisor, "
+        "'queue-status' to print the fleet health snapshot, or "
+        "'datagen' to pre-warm the dataset cache",
     )
     parser.add_argument(
         "--profile",
@@ -156,7 +169,13 @@ def build_parser():
         help="engine precision for every run in this invocation "
         "(default: the REPRO_DTYPE policy, float32)",
     )
-    parser.add_argument("--json", help="also dump raw results to this JSON path")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        help="also dump raw results to this JSON path ('-' or no value: stdout)",
+    )
     sweep_group = parser.add_argument_group("sweep grid (sweep verb only)")
     sweep_group.add_argument(
         "--models",
@@ -195,7 +214,8 @@ def build_parser():
         "--queue",
         default=None,
         help="queue name (or directory) to use; sweep derives one from the "
-        "grid by default, worker picks the only live queue when unambiguous",
+        "grid by default, worker picks the only live queue when unambiguous, "
+        "serve/queue-status restrict the fleet view to this queue",
     )
     queue_group.add_argument(
         "--lease-timeout",
@@ -215,6 +235,31 @@ def build_parser():
         action="store_true",
         help="worker verb: exit at the first idle scan instead of waiting "
         "for the queue to drain",
+    )
+    fleet_group = parser.add_argument_group("fleet service (serve/queue-status verbs)")
+    fleet_group.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        help="serve: seconds between supervision passes (default: 0.25)",
+    )
+    fleet_group.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="serve: seconds between worker heartbeat writes (default: 2)",
+    )
+    fleet_group.add_argument(
+        "--until-drained",
+        action="store_true",
+        help="serve: exit once every queue is terminal instead of waiting "
+        "for new sweeps (the CI drill mode)",
+    )
+    fleet_group.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="serve: hard wall-clock bound on the supervisor",
     )
     datagen_group = parser.add_argument_group("dataset generation (datagen/sweep verbs)")
     datagen_group.add_argument(
@@ -359,6 +404,70 @@ def run_worker_command(args, out=sys.stdout):
     return 1 if counts["error"] else 0
 
 
+def _fleet_queue_names(args):
+    """``--queue`` as a fleet restriction (name or directory) or ``None``."""
+    if not args.queue:
+        return None
+    return [os.path.basename(os.path.normpath(args.queue))]
+
+
+def run_serve_command(args, out=sys.stdout):
+    """The ``serve`` verb: run the long-lived fleet supervisor.
+
+    Starts ``--workers`` resident multi-queue workers over every queue
+    under the run cache (``--queue`` to restrict) and supervises them
+    until interrupted: dead workers are restarted, erroring tasks are
+    retried then quarantined, and the supervisor/heartbeat state files
+    feed ``queue-status``.  ``--until-drained`` turns it into a
+    bounded drill that exits once every queue is terminal.
+    """
+    from ..service import FleetSupervisor, build_status, format_status
+
+    cache_dir = default_cache_dir()
+    kwargs = {}
+    if args.poll is not None:
+        kwargs["poll"] = args.poll
+    if args.heartbeat_interval is not None:
+        kwargs["heartbeat_interval"] = args.heartbeat_interval
+    supervisor = FleetSupervisor(
+        cache_dir,
+        workers=args.workers if args.workers is not None else 2,
+        queues=_fleet_queue_names(args),
+        **kwargs,
+    )
+    print(
+        f"fleet supervisor: {supervisor.workers} worker(s) over {cache_dir}",
+        file=out,
+    )
+    try:
+        supervisor.serve(
+            until_drained=args.until_drained, max_seconds=args.max_seconds
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    print(format_status(build_status(cache_dir, queues=supervisor.queues)), file=out)
+    return 0
+
+
+def run_queue_status_command(args, out=sys.stdout):
+    """The ``queue-status`` verb: print the fleet health snapshot.
+
+    Assembled entirely from lock-free reads (journal snapshots,
+    heartbeat files, the supervisor state file), so it is always safe
+    to run against a live fleet.  ``--json [PATH]`` additionally dumps
+    the versioned machine-readable document (``-``/no value: stdout).
+    """
+    from ..service import build_status, format_status
+
+    status = build_status(default_cache_dir(), queues=_fleet_queue_names(args))
+    print(format_status(status), file=out)
+    if args.json:
+        save_json(status, args.json)
+        if args.json != "-":
+            print(f"raw snapshot -> {args.json}", file=out)
+    return 0
+
+
 def _datagen_eager_splits(spec, shard_size, hit):
     """Shard accounting for the eager writer (all-or-nothing per entry)."""
     from ..data import plan_shards
@@ -498,6 +607,10 @@ def main(argv=None):
         return 1 if run_sweep_command(args) else 0
     if args.artifact == "worker":
         return run_worker_command(args)
+    if args.artifact == "serve":
+        return run_serve_command(args)
+    if args.artifact == "queue-status":
+        return run_queue_status_command(args)
     if args.artifact == "datagen":
         return run_datagen_command(args)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]

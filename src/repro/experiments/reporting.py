@@ -13,6 +13,7 @@ read off the orderings and gaps the paper's evaluation claims.
 
 import json
 import os
+import sys
 from dataclasses import dataclass
 
 from .config import TrainConfig
@@ -121,7 +122,15 @@ def format_series(name, xs, ys, x_label="x", y_label="y"):
 
 
 def save_json(payload, path):
-    """Persist a result payload (dicts/lists/numbers) as JSON."""
+    """Persist a result payload (dicts/lists/numbers) as JSON.
+
+    ``path="-"`` writes to stdout instead — the machine-readable verbs
+    (``queue-status --json -``) pipe straight into ``jq`` and friends.
+    """
+    if path == "-":
+        json.dump(payload, sys.stdout, indent=2, default=_jsonify)
+        sys.stdout.write("\n")
+        return path
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)

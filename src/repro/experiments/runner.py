@@ -273,7 +273,9 @@ def _run_training(config, callbacks, cache_dir, force, verbose):
     return result
 
 
-def execute_record(config, cache_dir=_DEFAULT_CACHE, force=False, callback_factory=None):
+def execute_record(
+    config, cache_dir=_DEFAULT_CACHE, force=False, callback_factory=None, extra_callbacks=()
+):
     """Run one config and contain any crash as a :class:`RunRecord`.
 
     The single execution step shared by every sweep backend — the
@@ -281,13 +283,18 @@ def execute_record(config, cache_dir=_DEFAULT_CACHE, force=False, callback_facto
     work-stealing workers all drive the same code, which is what makes
     their results interchangeable.  ``callback_factory`` (if any) is
     called here, *inside* the executing process, so unpicklable
-    callback state never crosses a process boundary.  An exception
-    anywhere in the run comes back as an ``error`` record instead of
-    propagating.
+    callback state never crosses a process boundary.
+    ``extra_callbacks`` are appended to the factory's callbacks —
+    harness-owned hooks (the queue worker's lease-renewal heartbeat)
+    that must ride every run regardless of what the experiment itself
+    attaches.  They observe training only; the run's cache key and
+    results are unaffected.  An exception anywhere in the run comes
+    back as an ``error`` record instead of propagating.
     """
     start = time.perf_counter()
     try:
-        callbacks = callback_factory(config) if callback_factory is not None else ()
+        callbacks = tuple(callback_factory(config)) if callback_factory is not None else ()
+        callbacks += tuple(extra_callbacks)
         result = run_training(
             config, callbacks=callbacks, cache_dir=cache_dir, force=force
         )

@@ -45,6 +45,7 @@ import socket
 import time
 import uuid
 
+from ..core.trainer import Callback
 from ..io import JsonJournal, atomic_write_json, file_lock
 from .config import TrainConfig
 from .reporting import RunRecord, record_from_dict, record_to_dict
@@ -53,7 +54,10 @@ from .runner import execute_record
 #: Journal entry schema version, bumped on any incompatible change.
 #: ``tests/test_golden.py`` pins the schema; a queue refuses entries
 #: from a different version instead of misreading them.
-JOURNAL_VERSION = 1
+#: Version 2 added the terminal ``quarantined`` state (the poison
+#: backstop, previously a synthetic ``error``) — a v1 worker would
+#: treat a quarantined entry as claimable garbage, hence the bump.
+JOURNAL_VERSION = 2
 
 #: Every key of a journal entry, in canonical order (the golden test
 #: asserts this tuple and the serialized shape never drift silently).
@@ -73,9 +77,14 @@ ENTRY_FIELDS = (
     "record",
 )
 
-#: Task lifecycle states.
+#: Task lifecycle states.  ``quarantined`` is terminal like ``done``
+#: and ``error`` but *sticky*: a plain re-enqueue re-runs errors,
+#: while a quarantined task stays parked until forced — it has already
+#: eaten ``max_attempts`` workers (or kept erroring under the fleet
+#: supervisor's retry patrol) and must not poison the pool again.
 PENDING, LEASED, DONE, ERROR = "pending", "leased", "done", "error"
-TERMINAL = (DONE, ERROR)
+QUARANTINED = "quarantined"
+TERMINAL = (DONE, ERROR, QUARANTINED)
 
 #: Seconds a claim stays valid before other workers may steal the task.
 #: Generous by default — a steal re-runs the whole task, so false
@@ -241,6 +250,10 @@ class TaskQueue:
           claim path's business, not enqueue's);
         * ``done`` → untouched and counted in ``resumed`` — its stored
           record is served without re-running anything;
+        * ``quarantined`` → untouched and counted in ``resumed``: the
+          poison backstop already parked it with a terminal record, and
+          re-running it would just feed it more workers.  Only
+          ``force=True`` un-quarantines;
         * ``force=True`` → everything resets to ``pending`` with the
           force flag set, so workers retrain past the run cache.
         """
@@ -262,7 +275,9 @@ class TaskQueue:
                 if current is None or force or current["status"] == ERROR:
                     state["outcome"] = "enqueued"
                     return fresh
-                state["outcome"] = "resumed" if current["status"] == DONE else "kept"
+                state["outcome"] = (
+                    "resumed" if current["status"] in (DONE, QUARANTINED) else "kept"
+                )
                 return current
 
             self.journal.update(key, mutate)
@@ -311,9 +326,9 @@ class TaskQueue:
         that looks runnable — under the lock the state is re-checked,
         so two workers racing for the same task serialize and the
         loser moves on to the next one.  Stealing an expired lease
-        whose attempts are exhausted marks the task ``error`` (with a
-        synthetic record naming every worker that died on it) rather
-        than claiming it.
+        whose attempts are exhausted marks the task ``quarantined``
+        (with a synthetic record naming the last worker that died on
+        it) rather than claiming it — the poison backstop.
         """
         meta = self.meta
         lease_timeout = meta["lease_timeout"]
@@ -328,7 +343,7 @@ class TaskQueue:
                     raise _ClaimLost(key)
                 if current["attempts"] >= max_attempts:
                     lost = dict(current)
-                    lost["status"] = ERROR
+                    lost["status"] = QUARANTINED
                     lost["worker"] = None
                     lost["leased_at"] = None
                     lost["lease_expires"] = None
@@ -414,6 +429,51 @@ class TaskQueue:
             return False
         return True
 
+    # -- supervision ---------------------------------------------------
+    def retry_errors(self):
+        """Re-run or quarantine terminal ``error`` tasks; the fleet patrol.
+
+        A resident fleet (:mod:`repro.service`) outlives any single
+        sweep, so a task that erred under transient conditions — disk
+        full, OOM, a dataset cache mid-eviction — deserves another
+        attempt once the environment may have healed.  Each ``error``
+        entry whose attempts are below the queue's ``max_attempts`` is
+        reset to ``pending`` (attempts preserved, so retries are
+        bounded); one that has exhausted its attempts is moved to
+        ``quarantined``, keeping its last error record.  Returns
+        ``(retried_keys, quarantined_keys)``.
+
+        Never called by plain ``run_sweep`` — without a supervisor a
+        deterministic failure is still contained once and not retried.
+        """
+        max_attempts = self.meta["max_attempts"]
+        retried, quarantined = [], []
+        for key, entry in self.snapshot().items():
+            if entry["status"] != ERROR:
+                continue
+
+            def mutate(current):
+                if current is None or current["status"] != ERROR:
+                    raise _ClaimLost(key)  # someone else moved it first
+                moved = dict(current)
+                if current["attempts"] >= max_attempts:
+                    moved["status"] = QUARANTINED
+                else:
+                    moved["status"] = PENDING
+                    moved["worker"] = None
+                    moved["leased_at"] = None
+                    moved["lease_expires"] = None
+                    moved["finished_at"] = None
+                    moved["record"] = None
+                return moved
+
+            try:
+                moved = self.journal.update(key, mutate)
+            except _ClaimLost:
+                continue
+            (quarantined if moved["status"] == QUARANTINED else retried).append(key)
+        return retried, quarantined
+
     # -- observation ---------------------------------------------------
     def snapshot(self):
         """``{key: entry}`` for every journal entry (lock-free)."""
@@ -422,14 +482,14 @@ class TaskQueue:
     def counts(self, snapshot=None):
         """``{state: n}`` over the journal (plus ``"stolen"`` re-claims)."""
         snapshot = self.snapshot() if snapshot is None else snapshot
-        counts = {PENDING: 0, LEASED: 0, DONE: 0, ERROR: 0, "stolen": 0}
+        counts = {PENDING: 0, LEASED: 0, DONE: 0, ERROR: 0, QUARANTINED: 0, "stolen": 0}
         for entry in snapshot.values():
             counts[entry["status"]] += 1
             counts["stolen"] += max(0, entry["attempts"] - 1)
         return counts
 
     def drained(self, snapshot=None):
-        """True when every task is terminal (``done`` or ``error``)."""
+        """True when every task is terminal (done/error/quarantined)."""
         snapshot = self.snapshot() if snapshot is None else snapshot
         keys = self.keys()
         return bool(keys) and all(
@@ -445,12 +505,82 @@ class TaskQueue:
 def format_queue(queue, snapshot=None):
     """One-line human summary of a queue's state."""
     counts = queue.counts(snapshot)
-    total = sum(counts[state] for state in (PENDING, LEASED, DONE, ERROR))
+    total = sum(counts[state] for state in (PENDING, LEASED, DONE, ERROR, QUARANTINED))
     return (
         f"queue {os.path.basename(queue.root)}: {total} task(s) — "
-        f"{counts[DONE]} done, {counts[ERROR]} error, {counts[LEASED]} leased, "
+        f"{counts[DONE]} done, {counts[ERROR]} error, "
+        f"{counts[QUARANTINED]} quarantined, {counts[LEASED]} leased, "
         f"{counts[PENDING]} pending, {counts['stolen']} stolen"
     )
+
+
+# ----------------------------------------------------------------------
+# Step-granular lease renewal
+# ----------------------------------------------------------------------
+#: Fraction of the lease timeout that may elapse before the next
+#: renewal is attempted.  Half the timeout means a renewal can fail
+#: once (slow filesystem, contended lock) and the worker still gets a
+#: second chance before the lease becomes stealable.
+RENEW_FRACTION = 0.5
+
+
+class StepLeaseRenewal(Callback):
+    """Renew a task's lease from inside the trainer's step loop.
+
+    Attached by :func:`worker_loop` to every run it executes: the
+    trainer invokes :meth:`on_step_end` after each optimizer step, and
+    whenever more than ``fraction`` of the lease timeout has elapsed
+    since the last renewal the callback extends the lease (and beats
+    the worker's heartbeat).  This is what lets a queue run a *short*
+    lease timeout — fast steals when a worker truly dies — without
+    stealing from a ``full``-profile run whose single task outlives
+    the timeout many times over: liveness is proven per step, not per
+    task.
+
+    If a renewal comes back refused the lease was stolen (the worker
+    stalled past the timeout for longer than a step — swapping, paused
+    in a debugger, a filesystem brown-out).  The callback then requests
+    a stop: the thief is already re-running the task, this worker's
+    result would be discarded by :meth:`TaskQueue.resolve` anyway, and
+    every further step is wasted work.
+
+    The between-steps check is two clock reads when no renewal is due,
+    so even smoke-profile runs (hundreds of steps/second) pay nothing
+    measurable.
+    """
+
+    def __init__(self, queue, key, worker, fraction=RENEW_FRACTION, heartbeat=None,
+                 clock=time.time):
+        self.queue = queue
+        self.key = key
+        self.worker = worker
+        self.fraction = fraction
+        self.heartbeat = heartbeat
+        self.clock = clock
+        self.lease_timeout = queue.meta["lease_timeout"]
+        self.renewed_at = clock()
+        self.renewals = 0
+        self.lost = False
+
+    def due(self):
+        return self.clock() - self.renewed_at >= self.fraction * self.lease_timeout
+
+    def on_step_end(self, trainer, step):
+        if self.heartbeat is not None:
+            self.heartbeat.beat("running", queue=self.queue.root, key=self.key)
+        if self.lost or not self.due():
+            return
+        if self.queue.renew(self.key, self.worker):
+            self.renewed_at = self.clock()
+            # Refresh the timeout: an operator may have shortened it on
+            # the live queue (the documented recovery path), and renewal
+            # cadence must follow the setting actually in force.
+            self.lease_timeout = self.queue.meta["lease_timeout"]
+            self.renewals += 1
+        else:
+            self.lost = True
+            if trainer is not None:
+                trainer.stop_requested = True
 
 
 # ----------------------------------------------------------------------
@@ -476,6 +606,36 @@ def _worker_log(queue, worker):
     return fh, log
 
 
+def run_claimed_task(queue, entry, worker, callback_factory=None, heartbeat=None, log=None):
+    """Execute one claimed ``entry`` and resolve it; returns the record.
+
+    The single task-execution step shared by :func:`worker_loop` and
+    the fleet's multi-queue workers (:mod:`repro.service.supervisor`):
+    attach a :class:`StepLeaseRenewal` so the lease is kept alive from
+    inside the trainer's step loop, run through ``execute_record``
+    (crash contained), and resolve under lease ownership — a stale
+    worker's result is discarded, never double-written.
+    """
+    key = entry["key"]
+    config = TrainConfig.from_dict(entry["config"])
+    renewal = StepLeaseRenewal(queue, key, worker, heartbeat=heartbeat)
+    record = execute_record(
+        config,
+        cache_dir=queue.cache_dir,
+        force=entry["force"],
+        callback_factory=callback_factory,
+        extra_callbacks=(renewal,),
+    )
+    resolved = queue.resolve(key, worker, record)
+    if log is not None:
+        renewed = f" ({renewal.renewals} renewal(s))" if renewal.renewals else ""
+        if resolved:
+            log(f"{record.status} {key} in {record.seconds:.2f}s{renewed}")
+        else:
+            log(f"lease lost on {key}; discarding result{renewed}")
+    return record if resolved else None
+
+
 def worker_loop(
     root,
     worker=None,
@@ -484,6 +644,7 @@ def worker_loop(
     wait=True,
     max_tasks=None,
     on_record=None,
+    heartbeat=None,
 ):
     """Drain tasks from the queue at ``root``; returns tasks executed.
 
@@ -496,10 +657,17 @@ def worker_loop(
     finish together.  ``wait=False`` exits at the first idle scan
     (batch-queue style).  ``max_tasks`` caps this worker's share.
 
-    Each run re-resolves its lease before being recorded: a worker
-    that stalled past its lease timeout discards its result (the task
-    was stolen; the thief's deterministic re-run produced the same
-    thing) instead of double-writing.
+    Every run executes with a :class:`StepLeaseRenewal` attached, so
+    the lease is renewed between optimizer steps rather than only
+    between tasks — a task longer than the lease timeout is safe as
+    long as individual steps are shorter than it.  Each run still
+    re-resolves its lease before being recorded: a worker that stalled
+    past its lease timeout discards its result (the task was stolen;
+    the thief's deterministic re-run produced the same thing) instead
+    of double-writing.  ``heartbeat`` (a
+    :class:`repro.service.heartbeat.Heartbeat`, optional) is beaten on
+    every claim/finish/idle transition and between steps, which is
+    what ``queue-status`` derives per-worker liveness from.
     """
     queue = TaskQueue(root)
     worker = worker or worker_identity()
@@ -516,25 +684,25 @@ def worker_loop(
                 if not wait:
                     log("nothing runnable; exiting (wait=False)")
                     break
+                if heartbeat is not None:
+                    heartbeat.beat("idle", queue=queue.root)
                 time.sleep(poll)
                 continue
             key = entry["key"]
             stolen = " (stolen)" if entry["attempts"] > 1 else ""
             log(f"claimed {key} attempt={entry['attempts']}{stolen}")
-            config = TrainConfig.from_dict(entry["config"])
-            record = execute_record(
-                config,
-                cache_dir=queue.cache_dir,
-                force=entry["force"],
-                callback_factory=callback_factory,
+            if heartbeat is not None:
+                heartbeat.beat("running", queue=queue.root, key=key, force=True)
+            record = run_claimed_task(
+                queue, entry, worker,
+                callback_factory=callback_factory, heartbeat=heartbeat, log=log,
             )
-            if queue.resolve(key, worker, record):
-                log(f"{record.status} {key} in {record.seconds:.2f}s")
-                if on_record is not None:
-                    on_record(record)
-            else:
-                log(f"lease lost on {key}; discarding result")
+            if record is not None and on_record is not None:
+                on_record(record)
             executed += 1
+            if heartbeat is not None:
+                heartbeat.tasks_done += 1
+                heartbeat.beat("idle", queue=queue.root, force=True)
             if max_tasks is not None and executed >= max_tasks:
                 log(f"max_tasks={max_tasks} reached; exiting")
                 break

@@ -98,6 +98,23 @@ def atomic_write_json(path, payload, **dump_kwargs):
     return path
 
 
+def read_json(path, default=None):
+    """Best-effort lock-free read of a JSON file.
+
+    Returns ``default`` when the file is missing *or* unparseable —
+    the contract every status/heartbeat reader in the project wants:
+    files written through :func:`atomic_write_json` are never torn,
+    but a reader must still survive a file that predates the writer's
+    schema, was truncated by a dying filesystem, or simply is not
+    there yet.  Observability must never take a lock or raise.
+    """
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return default
+
+
 class DirectoryCache:
     """Content-addressed directory cache with atomic publication.
 

@@ -110,7 +110,10 @@ def _symmetric(weights, max_abs, levels):
     bounded by ``delta / 2`` as Theorem 2 requires.
     """
     steps = max(levels // 2 - 1, 1)
-    delta = np.where(np.asarray(max_abs) > 0, np.asarray(max_abs) / steps, 1.0)
+    # guard the quotient, not the operand: a subnormal max_abs can
+    # underflow to a delta of exactly 0.0 even though max_abs > 0
+    delta = np.asarray(max_abs) / steps
+    delta = np.where(delta > 0, delta, 1.0)
     codes = np.clip(np.round(weights / delta), -steps, steps)
     return codes * delta, delta
 
@@ -120,7 +123,10 @@ def _asymmetric(weights, low, high, levels):
     low = np.asarray(low, dtype=weights.dtype)
     high = np.asarray(high, dtype=weights.dtype)
     span = high - low
-    delta = np.where(span > 0, span / (levels - 1), 1.0)
+    # guard the quotient, not the span: a subnormal span underflows to
+    # a delta of exactly 0.0 even though span > 0 (then codes go NaN)
+    delta = span / (levels - 1)
+    delta = np.where(delta > 0, delta, np.ones_like(np.asarray(delta)))
     codes = np.clip(np.round((weights - low) / delta), 0, levels - 1)
     return codes * delta + low, delta
 

@@ -1,0 +1,137 @@
+"""Worker heartbeats: tiny atomic JSON files proving liveness.
+
+Every fleet (and queue) worker owns one file under
+``<cache>/service/heartbeats/<worker>.json``, rewritten atomically at
+a bounded cadence — on claim/finish transitions, and between trainer
+steps via :class:`repro.experiments.scheduler.StepLeaseRenewal`.  The
+file *is* the worker's externally visible state: ``queue-status``
+derives per-worker liveness purely from heartbeat ages, so a SIGKILLed
+worker needs no shutdown path at all — its file simply stops moving
+and ages into ``stale`` then ``dead``.
+
+Writes go through :func:`repro.io.atomic_write_json` and reads through
+:func:`repro.io.read_json`, so observers never see a torn file and
+never take a lock (a heartbeat that blocked on observation would be
+measuring the observer, not the worker).
+"""
+
+import os
+import socket
+import time
+
+from ..io import atomic_write_json, read_json
+
+#: Heartbeat file schema version (independent of the journal schema —
+#: heartbeats are advisory observability, not coordination state).
+HEARTBEAT_VERSION = 1
+
+#: Default seconds between heartbeat rewrites.  Between-step beats are
+#: throttled to this, so even a smoke run at hundreds of steps/second
+#: costs one small atomic write per interval.
+DEFAULT_INTERVAL = 2.0
+
+#: Liveness classification thresholds, in heartbeat intervals.  A
+#: worker is ``alive`` within 3 intervals (one write may always be in
+#: flight, plus filesystem latency), ``stale`` within 10 (probably
+#: wedged, possibly a long uninstrumented section), ``dead`` beyond.
+ALIVE_INTERVALS = 3.0
+STALE_INTERVALS = 10.0
+
+
+def service_dir(cache_dir):
+    """Directory holding all fleet-service state under a run cache."""
+    return os.path.join(os.path.abspath(cache_dir), "service")
+
+
+def heartbeat_dir(cache_dir):
+    return os.path.join(service_dir(cache_dir), "heartbeats")
+
+
+def _safe_name(worker):
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in worker)
+
+
+class Heartbeat:
+    """One worker's heartbeat file, rewritten at a bounded cadence.
+
+    ``beat(state, ...)`` is cheap to call arbitrarily often: it writes
+    only when ``interval`` has elapsed, the state/key changed, or the
+    caller forces it (claim/finish edges, where freshness matters more
+    than write amortization).
+    """
+
+    def __init__(self, cache_dir, worker, interval=DEFAULT_INTERVAL, clock=time.time):
+        self.worker = worker
+        self.interval = interval
+        self.clock = clock
+        self.path = os.path.join(heartbeat_dir(cache_dir), _safe_name(worker) + ".json")
+        self.started_at = clock()
+        self.tasks_done = 0
+        self._wrote_at = None
+        self._state = None
+        self._key = None
+
+    def beat(self, state, queue=None, key=None, force=False):
+        """Record ``state`` (``idle``/``running``/``exited``) if due."""
+        now = self.clock()
+        due = self._wrote_at is None or now - self._wrote_at >= self.interval
+        changed = state != self._state or key != self._key
+        if not (due or changed or force):
+            return False
+        atomic_write_json(
+            self.path,
+            {
+                "version": HEARTBEAT_VERSION,
+                "worker": self.worker,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "state": state,
+                "queue": os.path.basename(queue) if queue else None,
+                "key": key,
+                "tasks_done": self.tasks_done,
+                "interval": self.interval,
+                "started_at": self.started_at,
+                "beat_at": now,
+            },
+        )
+        self._wrote_at = now
+        self._state = state
+        self._key = key
+        return True
+
+    def close(self):
+        """Final ``exited`` beat — a clean shutdown, not a death."""
+        self.beat("exited", force=True)
+
+
+def read_heartbeats(cache_dir):
+    """Every heartbeat on disk, sorted by worker name (lock-free)."""
+    directory = heartbeat_dir(cache_dir)
+    if not os.path.isdir(directory):
+        return []
+    beats = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        entry = read_json(os.path.join(directory, name))
+        if isinstance(entry, dict) and entry.get("version") == HEARTBEAT_VERSION:
+            beats.append(entry)
+    return beats
+
+
+def liveness(entry, now):
+    """Classify a heartbeat: ``alive`` / ``stale`` / ``dead`` / ``exited``.
+
+    Ages are measured against the *writer's* declared interval, so a
+    deliberately slow-beating worker is not misread as stale by an
+    observer configured differently.
+    """
+    if entry.get("state") == "exited":
+        return "exited"
+    interval = entry.get("interval") or DEFAULT_INTERVAL
+    age = now - entry.get("beat_at", 0.0)
+    if age <= ALIVE_INTERVALS * interval:
+        return "alive"
+    if age <= STALE_INTERVALS * interval:
+        return "stale"
+    return "dead"

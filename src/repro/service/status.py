@@ -1,0 +1,210 @@
+"""``queue-status``: the fleet's health snapshot, from lock-free reads.
+
+:func:`build_status` assembles one versioned JSON document describing
+everything observable about a run cache's fleet — the supervisor's
+last published state, every worker heartbeat (classified by age),
+every queue's journal counts, throughput and ETA — without taking a
+single lock.  All inputs are written atomically by their owners
+(journal entries, heartbeat files, ``supervisor.json``), so the
+snapshot is a consistent *per-file* view that can be taken while
+workers run at full speed; it never blocks them and they never block
+it.  The document's shape is pinned by ``STATUS_VERSION`` and the
+schema tests, so dashboards and CI can parse it without tracking this
+codebase commit-by-commit.
+"""
+
+import os
+import time
+
+from ..experiments.scheduler import (
+    DONE,
+    ERROR,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    TaskQueue,
+)
+from .heartbeat import liveness, read_heartbeats
+from .supervisor import discover_queues, read_supervisor_state
+
+#: ``queue-status`` snapshot schema version.  Bump on any change to
+#: the document's shape; consumers should check it before parsing.
+STATUS_VERSION = 1
+
+#: Trailing window (seconds) over which queue throughput is measured.
+THROUGHPUT_WINDOW = 300.0
+
+#: A supervisor whose state file has not moved in this many of its own
+#: poll intervals is reported ``dead`` (it publishes every pass).
+SUPERVISOR_DEAD_INTERVALS = 20.0
+
+
+def _queue_status(root, now, window):
+    """One queue's section of the snapshot (lock-free)."""
+    queue = TaskQueue(root)
+    try:
+        meta = queue.meta
+    except FileNotFoundError:  # deleted between discovery and read
+        return None
+    snapshot = queue.snapshot()
+    counts = queue.counts(snapshot)
+    remaining = counts[PENDING] + counts[LEASED]
+
+    recent_done = 0
+    seconds, finished = [], []
+    for entry in snapshot.values():
+        if entry["status"] != DONE:
+            continue
+        if entry["finished_at"] is not None:
+            finished.append(entry["finished_at"])
+            if now - entry["finished_at"] <= window:
+                recent_done += 1
+        record = entry.get("record") or {}
+        if record.get("seconds") is not None:
+            seconds.append(record["seconds"])
+
+    # Throughput over the trailing window; when the window is empty but
+    # the queue has history, fall back to lifetime throughput so a
+    # just-resumed queue still gets an ETA.
+    throughput = recent_done / window if recent_done else 0.0
+    if not throughput and finished:
+        span = max(finished) - min(e["enqueued_at"] for e in snapshot.values())
+        if span > 0:
+            throughput = len(finished) / span
+    if throughput:
+        eta = remaining / throughput
+    elif seconds and remaining:
+        # No completions yet this session: serial bound from the mean
+        # task duration (pessimistic — ignores fleet parallelism).
+        eta = remaining * sum(seconds) / len(seconds)
+    else:
+        eta = None
+
+    return {
+        "name": os.path.basename(root),
+        "root": root,
+        "lease_timeout": meta["lease_timeout"],
+        "max_attempts": meta["max_attempts"],
+        "counts": counts,
+        "total": sum(counts[s] for s in (PENDING, LEASED, DONE, ERROR, QUARANTINED)),
+        "remaining": remaining,
+        "throughput_per_s": round(throughput, 6),
+        "eta_seconds": round(eta, 3) if eta is not None else None,
+        "leased_to": sorted(
+            e["worker"] for e in snapshot.values()
+            if e["status"] == LEASED and e["worker"]
+        ),
+    }
+
+
+def _supervisor_status(cache_dir, now):
+    state = read_supervisor_state(cache_dir)
+    if state is None:
+        return None
+    age = now - state.get("updated_at", 0.0)
+    if state.get("status") == "stopped":
+        live = "stopped"
+    elif age <= SUPERVISOR_DEAD_INTERVALS * max(state.get("poll") or 0.25, 0.25):
+        live = "alive"
+    else:
+        live = "dead"
+    return dict(state, liveness=live, age_seconds=round(age, 3))
+
+
+def build_status(cache_dir, queues=None, clock=time.time, window=THROUGHPUT_WINDOW):
+    """The versioned fleet snapshot for ``cache_dir`` (lock-free).
+
+    The document (schema v1)::
+
+        {"version": 1, "generated_at": ..., "cache_dir": ...,
+         "supervisor": {... supervisor.json + "liveness", "age_seconds"} | null,
+         "workers": [{... heartbeat + "liveness", "age_seconds"}],
+         "queues": [{"name", "root", "lease_timeout", "max_attempts",
+                     "counts": {state: n, "stolen": n}, "total",
+                     "remaining", "throughput_per_s", "eta_seconds",
+                     "leased_to": [worker, ...]}],
+         "totals": {state: n, "stolen": n, "tasks": n, "queues": n,
+                    "workers_alive": n}}
+
+    ``queues`` restricts to named queues; ``clock``/``window`` are
+    injectable for tests and benchmarks.
+    """
+    now = clock()
+    cache_dir = os.path.abspath(cache_dir)
+    queue_sections = []
+    for root in discover_queues(cache_dir, queues):
+        section = _queue_status(root, now, window)
+        if section is not None:
+            queue_sections.append(section)
+
+    workers = [
+        dict(
+            entry,
+            liveness=liveness(entry, now),
+            age_seconds=round(now - entry.get("beat_at", 0.0), 3),
+        )
+        for entry in read_heartbeats(cache_dir)
+    ]
+
+    totals = {PENDING: 0, LEASED: 0, DONE: 0, ERROR: 0, QUARANTINED: 0, "stolen": 0}
+    for section in queue_sections:
+        for state in totals:
+            totals[state] += section["counts"][state]
+    totals["tasks"] = sum(section["total"] for section in queue_sections)
+    totals["queues"] = len(queue_sections)
+    totals["workers_alive"] = sum(1 for w in workers if w["liveness"] == "alive")
+
+    return {
+        "version": STATUS_VERSION,
+        "generated_at": now,
+        "cache_dir": cache_dir,
+        "supervisor": _supervisor_status(cache_dir, now),
+        "workers": workers,
+        "queues": queue_sections,
+        "totals": totals,
+    }
+
+
+def format_status(status):
+    """Human rendering of a :func:`build_status` document."""
+    lines = [f"fleet status for {status['cache_dir']}"]
+    sup = status["supervisor"]
+    if sup is None:
+        lines.append("supervisor: none")
+    else:
+        alive = sum(1 for w in sup["workers"] if w["alive"])
+        lines.append(
+            f"supervisor: {sup['liveness']} (pid {sup['pid']} on {sup['host']}, "
+            f"{alive}/{len(sup['workers'])} workers up, "
+            f"{sup.get('restarts_total', 0)} restart(s), "
+            f"{sup['quarantined_total']} quarantined)"
+        )
+    for worker in status["workers"]:
+        task = f" on {worker['key']}" if worker.get("key") else ""
+        lines.append(
+            f"  worker {worker['worker']}: {worker['liveness']} "
+            f"({worker['state']}{task}, {worker['tasks_done']} task(s) done, "
+            f"beat {worker['age_seconds']:.1f}s ago)"
+        )
+    if not status["queues"]:
+        lines.append("queues: none")
+    for section in status["queues"]:
+        counts = section["counts"]
+        eta = (
+            f", eta {section['eta_seconds']:.0f}s"
+            if section["eta_seconds"] is not None and section["remaining"]
+            else ""
+        )
+        lines.append(
+            f"  queue {section['name']}: {section['total']} task(s) — "
+            f"{counts[DONE]} done, {counts[ERROR]} error, "
+            f"{counts[QUARANTINED]} quarantined, {counts[LEASED]} leased, "
+            f"{counts[PENDING]} pending, {counts['stolen']} stolen"
+            f"{eta}"
+        )
+    totals = status["totals"]
+    lines.append(
+        f"totals: {totals['tasks']} task(s) across {totals['queues']} queue(s), "
+        f"{totals['workers_alive']} worker(s) alive"
+    )
+    return "\n".join(lines)

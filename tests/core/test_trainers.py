@@ -124,3 +124,43 @@ class TestBNInteraction:
         history = trainer.fit(DataLoader(ds, batch_size=20, seed=0), epochs=3)
         assert history["train_loss"][-1] < history["train_loss"][0] + 0.5
         assert np.all(np.isfinite(model.state_dict()["0.weight"]))
+
+
+class TestStepHook:
+    """The between-steps hook the fleet's lease renewal rides on."""
+
+    def test_on_step_end_called_with_global_step(self):
+        steps = []
+
+        class StepRecorder(Callback):
+            def on_step_end(self, trainer, step):
+                steps.append(step)
+
+        ds, model = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+        opt = optim.SGD(model.parameters(), lr=0.1)
+        trainer = make_trainer("sgd", model, loss_fn, opt, callbacks=[StepRecorder()])
+        trainer.fit(DataLoader(ds, batch_size=30, seed=0), epochs=2)
+        # 90 samples / batch 30 = 3 steps per epoch; the counter is
+        # global across epochs, not reset per epoch
+        assert steps == [0, 1, 2, 3, 4, 5]
+        assert trainer.global_step == 6
+
+    def test_stop_requested_abandons_epoch_mid_stream(self):
+        class StopAtStep(Callback):
+            def __init__(self, at):
+                self.at = at
+
+            def on_step_end(self, trainer, step):
+                if step == self.at:
+                    trainer.stop_requested = True
+
+        ds, model = make_problem()
+        loss_fn = nn.CrossEntropyLoss()
+        opt = optim.SGD(model.parameters(), lr=0.1)
+        trainer = make_trainer(
+            "sgd", model, loss_fn, opt, callbacks=[StopAtStep(1)]
+        )
+        trainer.fit(DataLoader(ds, batch_size=30, seed=0), epochs=1)
+        # 3 batches in the epoch, stopped after the second step
+        assert trainer.global_step == 2

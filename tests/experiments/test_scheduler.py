@@ -37,6 +37,7 @@ from repro.experiments.scheduler import (
     JOURNAL_VERSION,
     LEASED,
     PENDING,
+    QUARANTINED,
     _worker_main,
     worker_identity,
 )
@@ -147,7 +148,9 @@ class TestQueueLifecycle:
         queue.enqueue(configs)
         queue.claim(worker_identity())
         counts = queue.counts()
-        assert counts == {PENDING: 2, LEASED: 1, DONE: 0, ERROR: 0, "stolen": 0}
+        assert counts == {
+            PENDING: 2, LEASED: 1, DONE: 0, ERROR: 0, QUARANTINED: 0, "stolen": 0,
+        }
         text = format_queue_text(queue)
         assert "3 task(s)" in text and "1 leased" in text
 
@@ -236,7 +239,7 @@ class TestLeases:
         stolen = queue.claim("rescuer")
         assert stolen is not None and stolen["attempts"] == 2
 
-    def test_poison_task_errors_after_max_attempts(self, tmp_run_cache, tiny_grid):
+    def test_poison_task_quarantined_after_max_attempts(self, tmp_run_cache, tiny_grid):
         configs = pinned(tiny_grid(1))
         queue = TaskQueue.create(tmp_run_cache, "q", lease_timeout=0.0, max_attempts=2)
         queue.enqueue(configs)
@@ -245,13 +248,19 @@ class TestLeases:
             entry = queue.claim(f"victim-{attempt}")
             assert entry["attempts"] == attempt
             time.sleep(0.01)
-        # both leases expired; the next claimer marks the task poisoned
+        # both leases expired; the next claimer quarantines the task
         assert queue.claim("survivor") is None
         entry = queue.journal.read(key)
-        assert entry["status"] == ERROR
+        assert entry["status"] == QUARANTINED
         assert "max_attempts=2 exhausted" in entry["record"]["error"]
         assert "victim-2" in entry["record"]["error"]
         assert queue.drained()
+        # quarantine is sticky across re-enqueue (no re-poisoning)...
+        assert queue.enqueue(configs) == (0, 1)
+        assert queue.journal.read(key)["status"] == QUARANTINED
+        # ...until an operator forces a fresh attempt
+        assert queue.enqueue(configs, force=True) == (1, 0)
+        assert queue.journal.read(key)["status"] == PENDING
 
 
 class TestParityProperty:

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.quant import QuantScheme, quantize_array, quantization_error
@@ -113,6 +113,8 @@ FINITE = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinit
     st.integers(min_value=2, max_value=8),
     st.booleans(),
 )
+# subnormal span: span/(levels-1) underflows to a 0.0 delta (NaN codes)
+@example(w=np.array([0.0, 5e-324]), bits=2, symmetric=False)
 def test_property_error_bound(w, bits, symmetric):
     """For any weights and precision: ||W_q - W||_inf <= Delta/2 (Thm 2)."""
     scheme = QuantScheme(bits, symmetric=symmetric)

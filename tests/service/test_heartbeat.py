@@ -1,0 +1,88 @@
+"""Heartbeat files: throttled atomic writes, age-based liveness."""
+
+import json
+import os
+
+from repro.service import (
+    HEARTBEAT_VERSION,
+    Heartbeat,
+    heartbeat_dir,
+    liveness,
+    read_heartbeats,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestHeartbeat:
+    def test_beat_writes_versioned_document(self, tmp_run_cache):
+        clock = FakeClock()
+        hb = Heartbeat(tmp_run_cache, "host:1:abc", clock=clock)
+        assert hb.beat("idle")
+        with open(hb.path) as fh:
+            doc = json.load(fh)
+        assert doc["version"] == HEARTBEAT_VERSION
+        assert doc["worker"] == "host:1:abc"
+        assert doc["state"] == "idle"
+        assert doc["beat_at"] == clock.now
+        assert doc["tasks_done"] == 0
+        # the worker name is sanitized into the filename
+        assert os.path.basename(hb.path) == "host_1_abc.json"
+
+    def test_beats_are_throttled_unless_state_changes(self, tmp_run_cache):
+        clock = FakeClock()
+        hb = Heartbeat(tmp_run_cache, "w", interval=2.0, clock=clock)
+        assert hb.beat("idle")
+        clock.now += 0.5
+        assert not hb.beat("idle")  # same state, interval not elapsed
+        assert hb.beat("running", key="k1")  # state change writes through
+        clock.now += 0.5
+        assert not hb.beat("running", key="k1")
+        assert hb.beat("running", key="k2")  # key change writes through
+        clock.now += 2.5
+        assert hb.beat("running", key="k2")  # interval elapsed
+        clock.now += 0.1
+        assert hb.beat("running", key="k2", force=True)  # forced edge
+
+    def test_close_marks_exited(self, tmp_run_cache):
+        hb = Heartbeat(tmp_run_cache, "w", clock=FakeClock())
+        hb.beat("running", key="k")
+        hb.close()
+        (entry,) = read_heartbeats(tmp_run_cache)
+        assert entry["state"] == "exited"
+        assert liveness(entry, 10_000.0) == "exited"  # never ages into dead
+
+    def test_read_heartbeats_sorted_and_tolerant(self, tmp_run_cache):
+        for name in ("b", "a", "c"):
+            Heartbeat(tmp_run_cache, name, clock=FakeClock()).beat("idle")
+        # torn/foreign files are skipped, not fatal (lock-free readers
+        # must tolerate writers mid-flight)
+        with open(os.path.join(heartbeat_dir(tmp_run_cache), "torn.json"), "w") as fh:
+            fh.write('{"version":')
+        with open(os.path.join(heartbeat_dir(tmp_run_cache), "alien.json"), "w") as fh:
+            json.dump({"version": HEARTBEAT_VERSION + 1}, fh)
+        assert [e["worker"] for e in read_heartbeats(tmp_run_cache)] == ["a", "b", "c"]
+
+    def test_read_heartbeats_empty_cache(self, tmp_run_cache):
+        assert read_heartbeats(tmp_run_cache) == []
+
+
+class TestLiveness:
+    def entry(self, beat_at, interval=2.0, state="running"):
+        return {"state": state, "interval": interval, "beat_at": beat_at}
+
+    def test_age_thresholds_scale_with_writer_interval(self):
+        now = 1000.0
+        assert liveness(self.entry(now - 1.0), now) == "alive"
+        assert liveness(self.entry(now - 5.9), now) == "alive"  # <= 3 intervals
+        assert liveness(self.entry(now - 6.1), now) == "stale"
+        assert liveness(self.entry(now - 19.9), now) == "stale"  # <= 10 intervals
+        assert liveness(self.entry(now - 20.1), now) == "dead"
+        # a slow-beating worker is judged by its own declared cadence
+        assert liveness(self.entry(now - 20.1, interval=30.0), now) == "alive"

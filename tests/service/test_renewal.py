@@ -1,0 +1,159 @@
+"""Step-granular lease renewal: long tasks on short lease timeouts.
+
+The satellite drill for the fleet service: a trainer whose *task*
+outlasts the queue's lease timeout many times over must finish with
+its lease intact as long as individual *steps* are shorter than the
+timeout (liveness is proven between steps) — while a genuinely dead
+worker's lease still expires and is stolen on schedule.
+"""
+
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.trainer import Callback
+from repro.experiments import TaskQueue
+from repro.experiments.scheduler import (
+    DONE,
+    StepLeaseRenewal,
+    run_claimed_task,
+    worker_identity,
+)
+from repro.tensor import dtype_name
+
+
+def pinned(configs):
+    return [
+        config if config.dtype else config.with_overrides(dtype=dtype_name(None))
+        for config in configs
+    ]
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRenewalSemantics:
+    """Deterministic fake-clock drills over the renewal state machine."""
+
+    def setup_queue(self, tmp_run_cache, tiny_grid, lease_timeout=10.0):
+        clock = FakeClock()
+        configs = pinned(tiny_grid(1))
+        queue = TaskQueue.create(
+            tmp_run_cache, "q", lease_timeout=lease_timeout, clock=lambda: clock.now
+        )
+        queue.enqueue(configs)
+        return clock, queue, [c.cache_key() for c in configs]
+
+    def test_slow_steps_outlasting_timeout_keep_lease(self, tmp_run_cache, tiny_grid):
+        """20 steps of 6s on a 10s lease: 120s of work, never stolen."""
+        clock, queue, keys = self.setup_queue(tmp_run_cache, tiny_grid)
+        entry = queue.claim("plodder")
+        renewal = StepLeaseRenewal(queue, entry["key"], "plodder", clock=clock)
+        trainer = SimpleNamespace(stop_requested=False)
+        for step in range(20):
+            clock.now += 6.0  # each step > fraction*timeout, < timeout
+            renewal.on_step_end(trainer, step)
+            # the lease stayed live through the whole crawl: a thief
+            # polling between every step never finds it expired
+            assert queue.claim("thief") is None
+        assert not renewal.lost and not trainer.stop_requested
+        assert renewal.renewals == 20  # every 6s step crossed the 5s renew mark
+        assert queue.journal.read(entry["key"])["attempts"] == 1
+
+    def test_dead_workers_lease_still_stolen(self, tmp_run_cache, tiny_grid):
+        """Renewal must not blunt the steal: no beats, no mercy."""
+        clock, queue, keys = self.setup_queue(tmp_run_cache, tiny_grid)
+        dead = queue.claim("dead-worker")
+        assert dead is not None
+        clock.now += 9.0
+        assert queue.claim("thief") is None  # not yet expired
+        clock.now += 2.0  # 11s since claim, no renewals in between
+        stolen = queue.claim("thief")
+        assert stolen is not None
+        assert stolen["key"] == dead["key"] and stolen["attempts"] == 2
+
+    def test_lost_lease_requests_trainer_stop(self, tmp_run_cache, tiny_grid):
+        clock, queue, keys = self.setup_queue(tmp_run_cache, tiny_grid)
+        entry = queue.claim("swapped-out")
+        renewal = StepLeaseRenewal(queue, entry["key"], "swapped-out", clock=clock)
+        clock.now += 11.0  # stalled past the timeout without a step
+        thief = queue.claim("thief")
+        assert thief is not None and thief["key"] == entry["key"]
+        trainer = SimpleNamespace(stop_requested=False)
+        renewal.on_step_end(trainer, 0)
+        assert renewal.lost
+        assert trainer.stop_requested  # further steps are wasted work
+        # and the state is sticky: no renewal attempts after loss
+        renewal.on_step_end(trainer, 1)
+        assert renewal.renewals == 0
+
+    def test_renewal_follows_live_timeout_updates(self, tmp_run_cache, tiny_grid):
+        """An operator shortening the queue's timeout re-paces renewals."""
+        clock, queue, keys = self.setup_queue(tmp_run_cache, tiny_grid)
+        entry = queue.claim("w")
+        renewal = StepLeaseRenewal(queue, entry["key"], "w", clock=clock)
+        clock.now += 6.0
+        renewal.on_step_end(None, 0)
+        assert renewal.renewals == 1
+        TaskQueue.create(queue.cache_dir, "q", lease_timeout=2.0)
+        clock.now += 6.0  # due under either timeout; renew refreshes meta
+        renewal.on_step_end(None, 1)
+        assert renewal.lease_timeout == 2.0
+        clock.now += 1.5  # not due under 10s, due under 2s
+        renewal.on_step_end(None, 2)
+        assert renewal.renewals == 3
+
+    def test_heartbeat_beats_between_steps(self, tmp_run_cache, tiny_grid):
+        from repro.service import Heartbeat, read_heartbeats
+
+        clock, queue, keys = self.setup_queue(tmp_run_cache, tiny_grid)
+        entry = queue.claim("w")
+        heartbeat = Heartbeat(tmp_run_cache, "w", clock=clock)
+        renewal = StepLeaseRenewal(
+            queue, entry["key"], "w", heartbeat=heartbeat, clock=clock
+        )
+        renewal.on_step_end(None, 0)
+        (beat,) = read_heartbeats(tmp_run_cache)
+        assert beat["state"] == "running"
+        assert beat["key"] == entry["key"]
+        assert beat["queue"] == "q"
+
+
+class SlowStep(Callback):
+    """Per-step brake: makes real smoke runs outlast a real timeout."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def on_step_end(self, trainer, step):
+        time.sleep(self.seconds)
+
+
+def slow_factory(config):
+    return [SlowStep(0.1)]
+
+
+@pytest.mark.slow
+class TestRenewalEndToEnd:
+    def test_real_run_outlasting_timeout_finishes_unstolen(
+        self, tmp_run_cache, tiny_grid
+    ):
+        """The full integration: a genuine trainer, real wall-clock, a
+        lease timeout several times shorter than the task."""
+        configs = pinned(tiny_grid(1, epochs=5))
+        queue = TaskQueue.create(tmp_run_cache, "q", lease_timeout=0.4)
+        queue.enqueue(configs)
+        worker = worker_identity()
+        entry = queue.claim(worker)
+        record = run_claimed_task(queue, entry, worker, callback_factory=slow_factory)
+        assert record is not None and record.ok  # resolve passed: lease held
+        assert record.seconds > 0.4  # the task really did outlast the timeout
+        stored = queue.journal.read(entry["key"])
+        assert stored["status"] == DONE
+        assert stored["attempts"] == 1  # never stolen

@@ -1,0 +1,119 @@
+"""CLI surface of the fleet service: serve and queue-status verbs."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.experiments import TaskQueue, worker_loop
+from repro.experiments.cli import (
+    build_parser,
+    main,
+    run_queue_status_command,
+    run_serve_command,
+)
+from repro.service import STATUS_VERSION
+from repro.tensor import dtype_name
+
+
+def pinned(configs):
+    return [
+        config if config.dtype else config.with_overrides(dtype=dtype_name(None))
+        for config in configs
+    ]
+
+
+class TestParsing:
+    def test_serve_verb_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--poll", "0.1", "--until-drained",
+             "--max-seconds", "30", "--heartbeat-interval", "1.5"]
+        )
+        assert args.artifact == "serve"
+        assert args.workers == 4
+        assert args.poll == 0.1
+        assert args.until_drained
+        assert args.max_seconds == 30
+        assert args.heartbeat_interval == 1.5
+
+    def test_queue_status_verb_parses(self):
+        args = build_parser().parse_args(["queue-status", "--json", "-"])
+        assert args.artifact == "queue-status"
+        assert args.json == "-"
+        # bare --json means stdout too
+        args = build_parser().parse_args(["queue-status", "--json"])
+        assert args.json == "-"
+        args = build_parser().parse_args(["queue-status"])
+        assert args.json is None
+
+
+class TestQueueStatus:
+    def seed_queue(self, tmp_run_cache, tiny_grid, name="q"):
+        configs = pinned(tiny_grid(2))
+        queue = TaskQueue.create(tmp_run_cache, name)
+        queue.enqueue(configs)
+        worker_loop(queue.root, worker="w", max_tasks=1)
+        return queue
+
+    def test_human_and_json_file_output(
+        self, tmp_run_cache, tiny_grid, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", tmp_run_cache)
+        self.seed_queue(tmp_run_cache, tiny_grid)
+        json_path = str(tmp_path / "status.json")
+        args = build_parser().parse_args(["queue-status", "--json", json_path])
+        out = io.StringIO()
+        assert run_queue_status_command(args, out=out) == 0
+        text = out.getvalue()
+        assert "queue q: 2 task(s)" in text and "1 done" in text
+        with open(json_path) as fh:
+            doc = json.load(fh)
+        assert doc["version"] == STATUS_VERSION
+        assert doc["queues"][0]["counts"]["done"] == 1
+
+    def test_json_dash_streams_to_stdout(
+        self, tmp_run_cache, tiny_grid, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", tmp_run_cache)
+        self.seed_queue(tmp_run_cache, tiny_grid)
+        assert main(["queue-status", "--json", "-"]) == 0
+        stdout = capsys.readouterr().out
+        # the JSON document is on stdout, parseable after the human text
+        doc = json.loads(stdout[stdout.index("{"):])
+        assert doc["version"] == STATUS_VERSION
+        assert doc["totals"]["tasks"] == 2
+
+    def test_queue_restriction(self, tmp_run_cache, tiny_grid, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", tmp_run_cache)
+        self.seed_queue(tmp_run_cache, tiny_grid, name="first")
+        TaskQueue.create(tmp_run_cache, "second")
+        args = build_parser().parse_args(["queue-status", "--queue", "first"])
+        out = io.StringIO()
+        run_queue_status_command(args, out=out)
+        text = out.getvalue()
+        assert "first" in text and "second" not in text
+
+
+@pytest.mark.slow
+class TestServeVerb:
+    def test_serve_until_drained_executes_queue(
+        self, tmp_run_cache, tiny_grid, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", tmp_run_cache)
+        configs = pinned(tiny_grid(2))
+        queue = TaskQueue.create(tmp_run_cache, "q")
+        queue.enqueue(configs)
+        args = build_parser().parse_args(
+            ["serve", "--workers", "2", "--poll", "0.05", "--until-drained",
+             "--max-seconds", "300"]
+        )
+        out = io.StringIO()
+        assert run_serve_command(args, out=out) == 0
+        assert queue.drained()
+        assert queue.counts()["done"] == 2
+        text = out.getvalue()
+        assert "fleet supervisor: 2 worker(s)" in text
+        assert "supervisor: stopped" in text
+        # the supervisor state file landed under the cache's service dir
+        assert os.path.exists(os.path.join(tmp_run_cache, "service", "supervisor.json"))

@@ -1,0 +1,139 @@
+"""``queue-status``: schema-versioned snapshot from lock-free reads."""
+
+import json
+import os
+import time
+from multiprocessing import get_context
+
+from repro.experiments import TaskQueue, worker_loop
+from repro.experiments.scheduler import DONE, LEASED, PENDING
+from repro.io import file_lock
+from repro.service import (
+    STATUS_VERSION,
+    Heartbeat,
+    build_status,
+    format_status,
+)
+from repro.tensor import dtype_name
+
+
+def pinned(configs):
+    return [
+        config if config.dtype else config.with_overrides(dtype=dtype_name(None))
+        for config in configs
+    ]
+
+
+TOP_LEVEL_KEYS = {
+    "version", "generated_at", "cache_dir", "supervisor", "workers", "queues", "totals",
+}
+QUEUE_KEYS = {
+    "name", "root", "lease_timeout", "max_attempts", "counts", "total",
+    "remaining", "throughput_per_s", "eta_seconds", "leased_to",
+}
+
+
+class TestSchema:
+    def test_empty_cache_is_still_a_valid_document(self, tmp_run_cache):
+        status = build_status(tmp_run_cache)
+        assert set(status) == TOP_LEVEL_KEYS
+        assert status["version"] == STATUS_VERSION
+        assert status["supervisor"] is None
+        assert status["workers"] == [] and status["queues"] == []
+        assert status["totals"]["tasks"] == 0
+        json.dumps(status)  # machine-readable end to end
+
+    def test_live_fleet_document(self, tmp_run_cache, tiny_grid):
+        configs = pinned(tiny_grid(3))
+        queue = TaskQueue.create(tmp_run_cache, "q")
+        queue.enqueue(configs)
+        heartbeat = Heartbeat(tmp_run_cache, "w-1")
+        heartbeat.beat("idle", force=True)
+        worker_loop(queue.root, worker="w-1", max_tasks=1, heartbeat=heartbeat)
+        queue.claim("w-2")  # a lease held right now
+
+        status = build_status(tmp_run_cache)
+        assert set(status) == TOP_LEVEL_KEYS
+        (qsec,) = status["queues"]
+        assert set(qsec) == QUEUE_KEYS
+        assert qsec["name"] == "q" and qsec["total"] == 3
+        assert qsec["counts"][DONE] == 1
+        assert qsec["counts"][LEASED] == 1
+        assert qsec["counts"][PENDING] == 1
+        assert qsec["remaining"] == 2
+        assert qsec["leased_to"] == ["w-2"]
+        assert qsec["throughput_per_s"] > 0  # one completion in the window
+        assert qsec["eta_seconds"] is not None
+        (worker,) = status["workers"]
+        assert worker["worker"] == "w-1"
+        assert worker["liveness"] == "alive"
+        assert worker["tasks_done"] == 1
+        assert status["totals"]["tasks"] == 3
+        assert status["totals"]["workers_alive"] == 1
+        json.dumps(status)
+
+        text = format_status(status)
+        assert "queue q: 3 task(s)" in text
+        assert "worker w-1: alive" in text
+
+    def test_eta_from_mean_task_seconds_when_window_empty(
+        self, tmp_run_cache, tiny_grid
+    ):
+        """A just-resumed queue (history, no fresh completions) still
+        estimates; a fake clock far in the future empties the window."""
+        configs = pinned(tiny_grid(2))
+        queue = TaskQueue.create(tmp_run_cache, "q")
+        queue.enqueue(configs)
+        worker_loop(queue.root, worker="w", max_tasks=1)
+        status = build_status(
+            tmp_run_cache, clock=lambda: time.time() + 3600, window=300.0
+        )
+        (qsec,) = status["queues"]
+        # lifetime-throughput fallback: done tasks exist, so some ETA
+        # is always offered for the remaining task
+        assert qsec["remaining"] == 1
+        assert qsec["eta_seconds"] is not None and qsec["eta_seconds"] > 0
+
+
+class _HoldLocks:
+    """Subprocess body: hold every queue lock the writers use."""
+
+    def __init__(self, root, key, sentinel, seconds):
+        self.root, self.key, self.sentinel, self.seconds = root, key, sentinel, seconds
+
+    def __call__(self):
+        with file_lock(os.path.join(self.root, "meta.json.lock")):
+            with file_lock(os.path.join(self.root, "journal", self.key + ".lock")):
+                with open(self.sentinel, "w") as fh:
+                    fh.write("locked")
+                time.sleep(self.seconds)
+
+
+class TestLockFreedom:
+    def test_snapshot_readable_while_locks_are_held(self, tmp_run_cache, tiny_grid):
+        """The acceptance criterion: queue-status never blocks on (or
+        takes) journal locks — it must return promptly even while
+        another process holds every write lock on the queue."""
+        configs = pinned(tiny_grid(1))
+        queue = TaskQueue.create(tmp_run_cache, "q")
+        queue.enqueue(configs)
+        key = configs[0].cache_key()
+        sentinel = os.path.join(tmp_run_cache, "locks-held")
+
+        ctx = get_context("fork")
+        holder = ctx.Process(target=_HoldLocks(queue.root, key, sentinel, seconds=30.0))
+        holder.start()
+        try:
+            deadline = time.monotonic() + 10
+            while not os.path.exists(sentinel) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert os.path.exists(sentinel), "lock holder never started"
+            start = time.monotonic()
+            status = build_status(tmp_run_cache)
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0, f"status blocked on a queue lock ({elapsed:.1f}s)"
+            (qsec,) = status["queues"]
+            assert qsec["total"] == 1
+        finally:
+            holder.terminate()
+            holder.join()

@@ -55,7 +55,9 @@ class TestDatasetGeneratorV2:
 
 class TestJournalEntrySchema:
     def test_schema_version_and_fields(self):
-        assert JOURNAL_VERSION == 1
+        # v2: the ``quarantined`` terminal state joined the lifecycle
+        # (same field set; the version gates state-machine semantics)
+        assert JOURNAL_VERSION == 2
         assert ENTRY_FIELDS == (
             "version",
             "key",
@@ -87,7 +89,7 @@ class TestJournalEntrySchema:
         assert tuple(entry) == ENTRY_FIELDS
         assert entry["key"] == config.cache_key() == "d1f3ec2ebdbe1e36"
         assert canonical_sha256(entry) == (
-            "6bd0beda28defb075db26607e7a3f0c951ef8bacf7009e9814e0ff70a05a359b"
+            "76c1817c62d55b9d350a87edaef1cb115647951796dd70459ebc98d50f710d74"
         )
 
     def test_record_payload_schema_stable(self):
