@@ -5,7 +5,18 @@ experiment above stands on: forward, backward, and double-backward
 passes of the convolutional stack, the PTQ sweep primitives, and the
 dataset-generation pipeline that feeds them (see
 ``benchmarks/bench_datagen.py`` for the full datagen axis).
+
+Besides the pytest-benchmark timings, a standalone smoke mode records a
+tracemalloc allocation profile per engine pass (transient peak bytes and
+net live blocks), with and without the opt-in buffer arena — the
+machine-independent axis CI archives alongside wall-clock::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --json results/engine_alloc.json
 """
+
+import argparse
+import json
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -15,7 +26,7 @@ from repro.data import generate_dataset, resolve_spec
 from repro.data.synthetic import _class_prototypes, _sample_images, _sample_images_loop, _split_labels
 from repro.models import create_model
 from repro.quant import QuantScheme, quantize_array
-from repro.tensor import Tensor
+from repro.tensor import Tensor, arena, arena_step
 
 
 @pytest.fixture(scope="module")
@@ -107,3 +118,113 @@ def test_datagen_sharded(benchmark):
     benchmark.pedantic(
         lambda: generate_dataset(spec), rounds=3, iterations=1, warmup_rounds=1
     )
+
+
+# ----------------------------------------------------------------------
+# Allocation profile (standalone smoke mode — no pytest-benchmark)
+# ----------------------------------------------------------------------
+def _engine_passes():
+    """Named closures over one model: the three engine pass shapes."""
+    rng = np.random.default_rng(0)
+    model = create_model("resnet8", num_classes=10, scale=1.0, seed=0)
+    x = rng.standard_normal((32, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 10, 32)
+    loss_fn = nn.CrossEntropyLoss()
+    params = list(model.parameters())
+
+    def forward():
+        arena_step()
+        return float(loss_fn(model(Tensor(x)), y).data)
+
+    def forward_backward():
+        arena_step()
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward()
+        return float(loss.data)
+
+    def double_backward():
+        arena_step()
+        model.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward(create_graph=True)
+        grads = [p.grad for p in params if p.grad is not None]
+        model.zero_grad()
+        penalty = None
+        for g in grads:
+            term = (g * g).sum()
+            penalty = term if penalty is None else penalty + term
+        penalty.backward()
+        return float(penalty.data)
+
+    return [
+        ("forward", forward),
+        ("forward_backward", forward_backward),
+        ("double_backward", double_backward),
+    ]
+
+
+def _alloc_profile(fn):
+    """(peak_bytes, net_blocks) of one warmed call to ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()  # warm-up: index caches, arena slots
+        before = tracemalloc.take_snapshot()
+        tracemalloc.reset_peak()
+        current0, _ = tracemalloc.get_traced_memory()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+        net_blocks = sum(
+            stat.count_diff for stat in after.compare_to(before, "filename")
+        )
+        return int(peak - current0), int(net_blocks)
+    finally:
+        tracemalloc.stop()
+
+
+def run_alloc_smoke():
+    """Allocation profile of each engine pass, arena off and on."""
+    results = {"runs": []}
+    for use_arena in (False, True):
+        passes = _engine_passes()
+        ctx = arena() if use_arena else None
+        if ctx is not None:
+            ctx.__enter__()
+        try:
+            for name, fn in passes:
+                peak, net_blocks = _alloc_profile(fn)
+                results["runs"].append(
+                    {
+                        "pass": name,
+                        "arena": use_arena,
+                        "alloc_peak_bytes": peak,
+                        "alloc_net_blocks": net_blocks,
+                    }
+                )
+                print(
+                    f"{name:>20} arena={use_arena!s:>5}: "
+                    f"peak {peak / 1e6:7.1f} MB, net {net_blocks:+d} blocks"
+                )
+        finally:
+            if ctx is not None:
+                ctx.__exit__(None, None, None)
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="tracemalloc allocation profile of the engine passes"
+    )
+    parser.add_argument("--json", default=None, help="write the profile to this path")
+    args = parser.parse_args(argv)
+    results = run_alloc_smoke()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"profile -> {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

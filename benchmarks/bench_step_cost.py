@@ -12,15 +12,40 @@ training step under the float32 policy versus float64.  The engine is
 memory-bandwidth bound at this scale, so float32 should be measurably
 faster on every method.
 
+Two engine axes ride along (float32 only):
+
+* ``fused`` — the flat-arena optimizer path versus the per-parameter
+  reference loop (``repro.optim``, bit-identical by construction);
+* ``arena`` — the opt-in step-scoped buffer arena
+  (``repro.tensor.arena``, bit-identical, off by default).
+
+Each cell also records a tracemalloc allocation profile
+(``alloc_peak_bytes`` — transient high-water mark of one step;
+``alloc_net_blocks`` — net new live blocks) so CI can catch allocation
+regressions, which are machine-independent unlike wall-clock.
+
 Standalone smoke mode (no pytest-benchmark needed — used by CI)::
 
     PYTHONPATH=src python benchmarks/bench_step_cost.py --steps 3 \
         --json results/step_cost.json
+
+Regression gate against the checked-in baseline (fails the process when
+steps/sec drops more than 20% or allocations rise more than 10% on any
+cell)::
+
+    PYTHONPATH=src python benchmarks/bench_step_cost.py --steps 3 \
+        --check-baseline benchmarks/baseline_step_cost.json
+
+Regenerate the baseline after an intentional perf change (one line)::
+
+    PYTHONPATH=src python benchmarks/bench_step_cost.py --steps 5 --update-baseline
 """
 
 import argparse
 import json
+import os
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -28,7 +53,7 @@ from repro import nn, optim
 from repro.core import make_trainer
 from repro.data import make_dataset
 from repro.models import create_model
-from repro.tensor import dtype_context
+from repro.tensor import arena, dtype_context
 
 METHOD_KWARGS = {
     "sgd": {},
@@ -39,23 +64,220 @@ METHOD_KWARGS = {
 
 DTYPES = ("float32", "float64")
 
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline_step_cost.json")
 
-def make_step(method, dtype="float32"):
+# Gate thresholds: wall-clock gets 20% (runner variance), allocation
+# metrics are deterministic for a fixed graph so they get 10%.
+SPEED_DROP_TOLERANCE = 0.20
+ALLOC_RISE_TOLERANCE = 0.10
+
+
+def make_step(method, dtype="float32", fused=True, use_arena=False):
     """Build a closure running one training step under ``dtype``."""
     with dtype_context(dtype):
         train, _test, spec = make_dataset("cifar10_like", train_size=64, test_size=32)
         model = create_model("resnet8", num_classes=spec.num_classes, scale=1.0, seed=0)
         loss_fn = nn.CrossEntropyLoss()
-        opt = optim.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        opt = optim.SGD(model.parameters(), lr=0.05, momentum=0.9, fused=fused)
         trainer = make_trainer(method, model, loss_fn, opt, **METHOD_KWARGS[method])
         x, y = train[np.arange(64)]
+
+    arena_ctx = arena() if use_arena else None
+    if arena_ctx is not None:
+        arena_ctx.__enter__()
 
     def step():
         with dtype_context(dtype):
             trainer.training_step(x, y)
             opt.step()
 
+    def close():
+        if arena_ctx is not None:
+            arena_ctx.__exit__(None, None, None)
+
+    step.close = close
     return step
+
+
+def measure_allocations(step):
+    """tracemalloc profile of one (warmed) step.
+
+    Returns ``(peak_bytes, net_blocks)``: the transient allocation
+    high-water mark above the pre-step level, and the net number of
+    blocks still live afterwards (buffer-arena steady state should pin
+    the latter near zero for tensor data).
+    """
+    tracemalloc.start()
+    try:
+        step()  # absorb warm-up allocations (caches, arena slots)
+        before = tracemalloc.take_snapshot()
+        tracemalloc.reset_peak()
+        current0, _ = tracemalloc.get_traced_memory()
+        step()
+        current1, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+        net_blocks = sum(
+            stat.count_diff for stat in after.compare_to(before, "filename")
+        )
+        del before, after
+        return int(peak - current0), int(net_blocks), int(current1 - current0)
+    finally:
+        tracemalloc.stop()
+
+
+def _cells(methods, dtypes):
+    for method in methods:
+        for dtype in dtypes:
+            yield {"method": method, "dtype": dtype, "fused": True, "arena": False}
+    # Engine axes, float32 only: reference (unfused) optimizer and the
+    # buffer arena, on the cheapest and the paper's method.
+    for method in ("sgd", "hero"):
+        if method not in methods or "float32" not in dtypes:
+            continue
+        yield {"method": method, "dtype": "float32", "fused": False, "arena": False}
+        yield {"method": method, "dtype": "float32", "fused": True, "arena": True}
+
+
+def cell_key(cell):
+    return "{method}/{dtype}/fused={fused}/arena={arena}".format(**cell)
+
+
+def run_smoke(steps=3, methods=None, dtypes=DTYPES, allocations=True):
+    """Time ``steps`` training steps per cell; returns a dict.
+
+    ``runs`` holds uniform per-cell timings; the float64/float32 ratios
+    live separately under ``speedups`` so timing consumers never mix
+    units.
+    """
+    methods = list(methods or METHOD_KWARGS)
+    results = {"steps": steps, "runs": [], "speedups": {}}
+    per_method_dtype = {}
+    for cell in _cells(methods, dtypes):
+        step = make_step(
+            cell["method"], cell["dtype"], fused=cell["fused"], use_arena=cell["arena"]
+        )
+        try:
+            step()  # warm-up
+            start = time.perf_counter()
+            for _ in range(steps):
+                step()
+            seconds = (time.perf_counter() - start) / steps
+            entry = dict(cell)
+            entry["seconds_per_step"] = seconds
+            entry["steps_per_sec"] = 1.0 / seconds
+            if allocations:
+                peak, net_blocks, net_bytes = measure_allocations(step)
+                entry["alloc_peak_bytes"] = peak
+                entry["alloc_net_blocks"] = net_blocks
+                entry["alloc_net_bytes"] = net_bytes
+        finally:
+            step.close()
+        results["runs"].append(entry)
+        label = cell_key(cell)
+        alloc_note = (
+            f", peak {entry['alloc_peak_bytes'] / 1e6:7.1f} MB/step"
+            if allocations
+            else ""
+        )
+        print(f"{label:>40}: {seconds * 1e3:8.1f} ms/step{alloc_note}")
+        if cell["fused"] and not cell["arena"]:
+            per_method_dtype.setdefault(cell["method"], {})[cell["dtype"]] = seconds
+    for method, per_dtype in per_method_dtype.items():
+        if "float32" in per_dtype and "float64" in per_dtype:
+            results["speedups"][method] = per_dtype["float64"] / per_dtype["float32"]
+    return results
+
+
+def check_baseline(results, baseline_path):
+    """Compare a smoke run against the checked-in baseline.
+
+    Returns a list of human-readable violation strings (empty = pass).
+    A cell fails when steps/sec drops more than 20% or the transient
+    allocation peak rises more than 10%.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_cells = {cell_key(run): run for run in baseline["runs"]}
+    violations = []
+    for run in results["runs"]:
+        key = cell_key(run)
+        base = base_cells.get(key)
+        if base is None:
+            continue
+        floor = base["steps_per_sec"] * (1.0 - SPEED_DROP_TOLERANCE)
+        if run["steps_per_sec"] < floor:
+            violations.append(
+                f"{key}: {run['steps_per_sec']:.2f} steps/sec < "
+                f"{floor:.2f} (baseline {base['steps_per_sec']:.2f} - "
+                f"{SPEED_DROP_TOLERANCE:.0%})"
+            )
+        # Only peak bytes is gated: it is pinned by the computation graph
+        # and stable across runs, while net live *blocks* also count
+        # interpreter/GC churn and jitter run to run.
+        metric = "alloc_peak_bytes"
+        if metric in run and metric in base and base[metric] >= 0:
+            ceiling = base[metric] * (1.0 + ALLOC_RISE_TOLERANCE)
+            if run[metric] > max(ceiling, base[metric] + 4096):
+                violations.append(
+                    f"{key}: {metric} {run[metric]} > {ceiling:.0f} "
+                    f"(baseline {base[metric]} + {ALLOC_RISE_TOLERANCE:.0%})"
+                )
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=3, help="timed steps per cell")
+    parser.add_argument(
+        "--methods",
+        default=None,
+        help=f"comma-separated subset of {sorted(METHOD_KWARGS)} (default: all)",
+    )
+    parser.add_argument("--json", default=None, help="write timings to this JSON path")
+    parser.add_argument(
+        "--no-allocations",
+        action="store_true",
+        help="skip the tracemalloc pass (it slows the measured steps)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        nargs="?",
+        const=BASELINE_PATH,
+        default=None,
+        metavar="PATH",
+        help="fail if steps/sec drops >20%% or allocations rise >10%% vs PATH "
+        f"(default {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        nargs="?",
+        const=BASELINE_PATH,
+        default=None,
+        metavar="PATH",
+        help=f"write this run as the new baseline (default {BASELINE_PATH})",
+    )
+    args = parser.parse_args(argv)
+    methods = args.methods.split(",") if args.methods else None
+    results = run_smoke(
+        steps=args.steps, methods=methods, allocations=not args.no_allocations
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"timings -> {args.json}")
+    if args.update_baseline:
+        with open(args.update_baseline, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"baseline -> {args.update_baseline}")
+    if args.check_baseline:
+        violations = check_baseline(results, args.check_baseline)
+        if violations:
+            print("bench-step-gate FAILED:")
+            for line in violations:
+                print(f"  {line}")
+            return 1
+        print(f"bench-step-gate OK vs {args.check_baseline}")
+    return 0
 
 
 try:
@@ -70,58 +292,6 @@ try:
 
 except ImportError:  # pragma: no cover - pytest always present in dev
     pass
-
-
-def run_smoke(steps=3, methods=None, dtypes=DTYPES):
-    """Time ``steps`` training steps per (method, dtype); returns a dict.
-
-    ``runs`` holds uniform per-cell timings; the float64/float32 ratios
-    live separately under ``speedups`` so timing consumers never mix
-    units.
-    """
-    methods = list(methods or METHOD_KWARGS)
-    results = {"steps": steps, "runs": [], "speedups": {}}
-    for method in methods:
-        per_dtype = {}
-        for dtype in dtypes:
-            step = make_step(method, dtype)
-            step()  # warm-up
-            start = time.perf_counter()
-            for _ in range(steps):
-                step()
-            seconds = (time.perf_counter() - start) / steps
-            per_dtype[dtype] = seconds
-            results["runs"].append(
-                {"method": method, "dtype": dtype, "seconds_per_step": seconds}
-            )
-        if "float32" in per_dtype and "float64" in per_dtype:
-            speedup = per_dtype["float64"] / per_dtype["float32"]
-            results["speedups"][method] = speedup
-            print(
-                f"{method:>12}: float32 {per_dtype['float32'] * 1e3:8.1f} ms/step, "
-                f"float64 {per_dtype['float64'] * 1e3:8.1f} ms/step "
-                f"-> {speedup:.2f}x"
-            )
-    return results
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--steps", type=int, default=3, help="timed steps per cell")
-    parser.add_argument(
-        "--methods",
-        default=None,
-        help=f"comma-separated subset of {sorted(METHOD_KWARGS)} (default: all)",
-    )
-    parser.add_argument("--json", default=None, help="write timings to this JSON path")
-    args = parser.parse_args(argv)
-    methods = args.methods.split(",") if args.methods else None
-    results = run_smoke(steps=args.steps, methods=methods)
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(results, fh, indent=2)
-        print(f"timings -> {args.json}")
-    return 0
 
 
 if __name__ == "__main__":

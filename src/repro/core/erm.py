@@ -1,5 +1,6 @@
 """Plain empirical-risk-minimization (SGD) trainer — the paper's baseline."""
 
+from ..tensor import arena_step
 from .trainer import Trainer
 
 
@@ -13,6 +14,7 @@ class ERMTrainer(Trainer):
     method_name = "sgd"
 
     def training_step(self, x, y):
+        arena_step()
         self._clear_grads()
         loss, logits = self._forward_loss(x, y)
         loss.backward()

@@ -65,9 +65,22 @@ def global_perturbation(params, grads, h):
 
 
 def apply_offsets(params, offsets, sign=1.0):
-    """Add ``sign * offsets`` to parameter data in place."""
-    for param, offset in zip(params, offsets):
-        param.data = param.data + sign * offset
+    """Add ``sign * offsets`` to parameter data, writing in place.
+
+    Writing into the existing buffers (rather than rebinding
+    ``param.data``) is bit-identical — ``w + (-o) == w - o`` exactly in
+    IEEE — and keeps any views other subsystems hold over the parameter
+    (the fused optimizers' flat-arena views) in sync for free.
+    """
+    if sign == 1.0:
+        for param, offset in zip(params, offsets):
+            np.add(param.data, offset, out=param.data)
+    elif sign == -1.0:
+        for param, offset in zip(params, offsets):
+            np.subtract(param.data, offset, out=param.data)
+    else:
+        for param, offset in zip(params, offsets):
+            np.add(param.data, sign * offset, out=param.data)
 
 
 PERTURBATIONS = {

@@ -11,6 +11,7 @@ brittle elsewhere — the opposite robustness profile from HERO's.
 """
 
 from ..quant.quantizer import QuantScheme, quantize_array
+from ..tensor import arena_step
 from .trainer import Trainer
 
 
@@ -54,6 +55,7 @@ class QATTrainer(Trainer):
         return targets
 
     def training_step(self, x, y):
+        arena_step()
         masters = [w.data.copy() for w in self._targets]
         try:
             for weight in self._targets:

@@ -9,6 +9,7 @@ replacement borrowed from sharpness-aware minimization [7], without the
 Hessian penalty.  Shares the Eq. 15 perturbation with HERO.
 """
 
+from ..tensor import arena_step
 from .perturbation import PERTURBATIONS, apply_offsets
 from .trainer import Trainer
 
@@ -40,6 +41,7 @@ class SAMTrainer(Trainer):
         self.perturbation = perturbation
 
     def training_step(self, x, y):
+        arena_step()
         self._clear_grads()
         loss, logits = self._forward_loss(x, y)
         loss.backward()

@@ -6,6 +6,7 @@ eigenvalues (power iteration / Lanczos), Hutchinson trace and Eq. 13's
 """
 
 from .hvp import (
+    HVPOperator,
     batch_gradients,
     hvp_exact,
     hvp_finite_diff,
@@ -34,6 +35,7 @@ __all__ = [
     "gradl1_limit_linf",
     "theorem3_bounds",
     "empirical_loss_increase",
+    "HVPOperator",
     "batch_gradients",
     "hvp_exact",
     "hvp_finite_diff",

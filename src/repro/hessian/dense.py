@@ -9,7 +9,7 @@ of toy models directly.
 
 import numpy as np
 
-from .hvp import hvp_exact, model_params
+from .hvp import HVPOperator, model_params
 
 
 def parameter_count(model):
@@ -21,7 +21,9 @@ def full_hessian(model, loss_fn, x, y, max_params=4000):
     """Assemble the dense Hessian of the batch loss.
 
     Refuses to run on models with more than ``max_params`` parameters
-    (quadratic memory, one backprop pair per column).
+    (quadratic memory, one double backprop per column — the forward
+    graph is built once and shared by all ``n`` columns via
+    :class:`~repro.hessian.hvp.HVPOperator`).
     Returns an ``(n, n)`` symmetric matrix in flat parameter order.
     """
     params = model_params(model)
@@ -32,6 +34,7 @@ def full_hessian(model, loss_fn, x, y, max_params=4000):
         )
     shapes = [p.shape for p in params]
     sizes = [p.size for p in params]
+    operator = HVPOperator(model, loss_fn, x, y)
     hessian = np.empty((n, n))
     for column in range(n):
         flat = np.zeros(n)
@@ -41,7 +44,7 @@ def full_hessian(model, loss_fn, x, y, max_params=4000):
         for shape, size in zip(shapes, sizes):
             vectors.append(flat[offset : offset + size].reshape(shape))
             offset += size
-        hv = hvp_exact(model, loss_fn, x, y, vectors)
+        hv = operator.matvec(vectors)
         hessian[:, column] = np.concatenate([v.reshape(-1) for v in hv])
     return hessian
 

@@ -60,20 +60,44 @@ def batch_gradients(model, loss_fn, x, y, create_graph=False):
     return float(loss.data), grads
 
 
-def hvp_exact(model, loss_fn, x, y, vectors):
-    """Exact ``H v`` via double backprop.
+class HVPOperator:
+    """Exact Hessian-vector products that share one forward graph.
 
-    ``vectors`` is a list of numpy arrays matching the parameter
-    shapes; the result has the same structure.
+    Construction runs the forward pass and the first (differentiable)
+    backward pass once; every :meth:`matvec` afterwards costs only the
+    double-backprop sweep through the retained gradient graph.  Probing
+    ``k`` directions therefore does ``1`` forward + ``1 + k`` backward
+    passes instead of ``k`` of each — the dominant saving for dense
+    Hessian assembly and Lanczos/Hutchinson style estimators.
+
+    The graph holds the forward activations captured at construction
+    time, so results correspond to the weights as they were then; BN
+    buffers are snapshotted around the forward and restored immediately,
+    leaving the model untouched.  Do not mutate parameter data between
+    matvecs.  Inside an active :func:`repro.tensor.arena` context the
+    operator must not span an ``arena_step()`` boundary (the retained
+    activations would be recycled).
     """
-    params = model_params(model)
-    if len(vectors) != len(params):
-        raise ValueError("vectors must match the number of parameters")
-    buffers = snapshot_buffers(model)
-    try:
-        _, grads = batch_gradients(model, loss_fn, x, y, create_graph=True)
+
+    def __init__(self, model, loss_fn, x, y):
+        self.params = model_params(model)
+        buffers = snapshot_buffers(model)
+        try:
+            self.loss, self._grads = batch_gradients(
+                model, loss_fn, x, y, create_graph=True
+            )
+        finally:
+            restore_buffers(model, buffers)
+
+    def matvec(self, vectors):
+        """Exact ``H v`` for one probe (list of per-parameter arrays)."""
+        params = self.params
+        if len(vectors) != len(params):
+            raise ValueError("vectors must match the number of parameters")
+        for p in params:
+            p.grad = None
         inner = None
-        for grad, vec in zip(grads, vectors):
+        for grad, vec in zip(self._grads, vectors):
             term = (grad * Tensor(np.asarray(vec))).sum()
             inner = term if inner is None else inner + term
         inner.backward()
@@ -81,9 +105,22 @@ def hvp_exact(model, loss_fn, x, y, vectors):
         for p in params:
             result.append(np.zeros_like(p.data) if p.grad is None else p.grad.data.copy())
             p.grad = None
-    finally:
-        restore_buffers(model, buffers)
-    return result
+        return result
+
+    def matvec_many(self, probes):
+        """``[H v for v in probes]`` against the shared graph."""
+        return [self.matvec(vectors) for vectors in probes]
+
+
+def hvp_exact(model, loss_fn, x, y, vectors):
+    """Exact ``H v`` via double backprop.
+
+    ``vectors`` is a list of numpy arrays matching the parameter
+    shapes; the result has the same structure.  For several probes at
+    the same weights/batch, build an :class:`HVPOperator` once instead —
+    identical results, one shared forward graph.
+    """
+    return HVPOperator(model, loss_fn, x, y).matvec(vectors)
 
 
 def hvp_finite_diff(model, loss_fn, x, y, vectors, eps=1e-3):

@@ -7,7 +7,14 @@ training rule requires.
 
 from .module import Module, Parameter, Sequential, Identity
 from .linear import Linear, Flatten, linear
-from .conv import Conv2d, conv2d, conv_output_size, im2col_indices
+from .conv import (
+    Conv2d,
+    conv2d,
+    conv_output_size,
+    im2col_cache_clear,
+    im2col_cache_info,
+    im2col_indices,
+)
 from .pooling import (
     MaxPool2d,
     AvgPool2d,
@@ -36,6 +43,8 @@ __all__ = [
     "Conv2d",
     "conv2d",
     "conv_output_size",
+    "im2col_cache_clear",
+    "im2col_cache_info",
     "im2col_indices",
     "MaxPool2d",
     "AvgPool2d",

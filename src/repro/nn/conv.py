@@ -10,13 +10,39 @@ as used by MobileNetV2) maps onto a single 3-D batched matmul over the
 group axis — no Python-level loop over groups.
 """
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..tensor import default_dtype
 from . import init
 from .module import Module, Parameter
 
-_INDEX_CACHE = {}
+# Bounded LRU for im2col gather indices.  Index construction is pure
+# integer arithmetic but costs ~ O(N * OHW * C * KK) per call — several
+# milliseconds for a CIFAR-sized batch — so a training loop that
+# recomputed it every step would spend more time building indices than
+# convolving.  The bound keeps pathological shape churn (e.g. sweeping
+# image sizes in an eval harness) from growing the cache without limit;
+# steady-state training uses a handful of entries and never evicts.
+_INDEX_CACHE_MAX = 64
+_INDEX_CACHE = OrderedDict()
+_INDEX_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def im2col_cache_info():
+    """Snapshot of the index-cache counters (hits/misses/evictions/size)."""
+    info = dict(_INDEX_CACHE_STATS)
+    info["size"] = len(_INDEX_CACHE)
+    info["maxsize"] = _INDEX_CACHE_MAX
+    return info
+
+
+def im2col_cache_clear():
+    """Drop all cached index arrays and reset the counters."""
+    _INDEX_CACHE.clear()
+    for key in _INDEX_CACHE_STATS:
+        _INDEX_CACHE_STATS[key] = 0
 
 
 def _pair(value):
@@ -40,13 +66,17 @@ def im2col_indices(in_shape, kernel, stride, dilation):
     Returns an int array of shape ``(N, OH*OW, C, KH*KW)`` whose entries
     index into the *flattened padded* input; gathering with it yields,
     for every output location, the receptive-field window of every
-    channel.  Results are memoized — models reuse the same shapes every
-    step.
+    channel.  Results are memoized in a bounded LRU — models reuse the
+    same shapes every step, so steady-state training recomputes nothing
+    (see :func:`im2col_cache_info`).
     """
     key = (in_shape, kernel, stride, dilation)
     cached = _INDEX_CACHE.get(key)
     if cached is not None:
+        _INDEX_CACHE_STATS["hits"] += 1
+        _INDEX_CACHE.move_to_end(key)
         return cached
+    _INDEX_CACHE_STATS["misses"] += 1
 
     n, c, hp, wp = in_shape
     kh, kw = kernel
@@ -72,6 +102,9 @@ def im2col_indices(in_shape, kernel, stride, dilation):
     flat = flat + cols[None, :, None, :]
     result = (flat.astype(np.int64), oh, ow)
     _INDEX_CACHE[key] = result
+    if len(_INDEX_CACHE) > _INDEX_CACHE_MAX:
+        _INDEX_CACHE.popitem(last=False)
+        _INDEX_CACHE_STATS["evictions"] += 1
     return result
 
 

@@ -1,0 +1,121 @@
+"""Flat-buffer parameter/state arenas shared by the fused optimizers.
+
+The reference optimizer loops issue roughly half a dozen small numpy
+calls per parameter per step; on a ~30-tensor CNN that is a few hundred
+ufunc launches whose fixed dispatch overhead dwarfs the arithmetic.
+The fused path concatenates all parameters of one dtype into a single
+contiguous buffer, hands reshaped views of it back to the ``nn``
+modules (``param.data`` becomes a window into the arena), and performs
+each optimizer update as a handful of full-arena ufuncs.
+
+Every update rule in this package is purely elementwise, so the flat
+update computes bit-for-bit the same values as the per-parameter
+reference loop — pinned by ``tests/optim/test_fused_parity.py``.
+
+External code is allowed to rebind ``param.data`` (QAT's per-step
+weight quantization, ``Module.load_state_dict``):
+:meth:`FlatParamGroup.sync` detects the rebind before each step, copies
+the new values back into the arena, and hands the view out again.
+In-place writes to the view (``repro.core.perturbation.apply_offsets``,
+gradient-clipping reads) need no healing at all — views alias the
+arena by construction.
+"""
+
+import numpy as np
+
+
+class FlatParamGroup:
+    """All parameters of one dtype flattened into one contiguous buffer."""
+
+    __slots__ = ("dtype", "params", "indices", "offsets", "flat", "grad_flat", "views", "size", "_scratch")
+
+    def __init__(self, dtype, params, indices):
+        self.dtype = dtype
+        self.params = params
+        self.indices = indices  # positions in the optimizer's parameter list
+        sizes = [int(p.data.size) for p in params]
+        self.size = int(sum(sizes))
+        bounds = [0]
+        for size in sizes:
+            bounds.append(bounds[-1] + size)
+        self.offsets = list(zip(bounds[:-1], bounds[1:]))
+        self.flat = np.empty(self.size, dtype=dtype)
+        self.grad_flat = np.empty(self.size, dtype=dtype)
+        self._scratch = []
+        self.views = []
+        for param, (lo, hi) in zip(params, self.offsets):
+            view = self.flat[lo:hi].reshape(param.data.shape)
+            np.copyto(view, param.data)
+            param.data = view
+            self.views.append(view)
+
+    def scratch(self, k):
+        """``k``-th persistent scratch buffer of the group's full size."""
+        while len(self._scratch) <= k:
+            self._scratch.append(np.empty(self.size, dtype=self.dtype))
+        return self._scratch[k]
+
+    def state_flat(self, per_param=None):
+        """A zeroed state arena (momentum, Adam moments, ...).
+
+        Returns ``(flat, views)`` with one view per parameter;
+        ``per_param`` optionally seeds the slices (``None`` entries stay
+        zero, matching the reference path's lazy ``zeros_like`` init).
+        """
+        flat = np.zeros(self.size, dtype=self.dtype)
+        views = [
+            flat[lo:hi].reshape(param.data.shape)
+            for param, (lo, hi) in zip(self.params, self.offsets)
+        ]
+        if per_param is not None:
+            for view, value in zip(views, per_param):
+                if value is not None:
+                    np.copyto(view, value, casting="unsafe")
+        return flat, views
+
+    def sync(self):
+        """Re-absorb parameters whose ``.data`` was rebound externally.
+
+        Returns ``False`` when a rebind changed shape or dtype — the
+        caller must rebuild its groups — and ``True`` otherwise.
+        """
+        for param, view in zip(self.params, self.views):
+            data = param.data
+            if data is view:
+                continue
+            if data.shape != view.shape or data.dtype != view.dtype:
+                return False
+            np.copyto(view, data)
+            param.data = view
+        return True
+
+    def gather_grads(self):
+        """Copy every ``param.grad`` into the flat gradient buffer.
+
+        Returns ``True`` when all grads are present and the fused update
+        may run; ``False`` when any is ``None``, in which case the
+        caller must fall back to per-parameter reference semantics —
+        the reference loop *skips* grad-less parameters, and zero-filling
+        their slice would wrongly advance their momentum state.
+        """
+        gf = self.grad_flat
+        for param, (lo, hi) in zip(self.params, self.offsets):
+            grad = param.grad
+            if grad is None:
+                return False
+            # Same cast the reference loop's np.asarray(..., dtype=) does.
+            np.copyto(gf[lo:hi].reshape(grad.data.shape), grad.data, casting="same_kind")
+        return True
+
+
+def build_groups(params):
+    """Group ``params`` by dtype into :class:`FlatParamGroup` arenas."""
+    by_dtype = {}
+    for index, param in enumerate(params):
+        entry = by_dtype.setdefault(param.data.dtype, ([], []))
+        entry[0].append(param)
+        entry[1].append(index)
+    return [
+        FlatParamGroup(dtype, group_params, indices)
+        for dtype, (group_params, indices) in by_dtype.items()
+    ]

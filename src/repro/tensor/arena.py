@@ -1,0 +1,221 @@
+"""Step-scoped buffer arena — opt-in output-array reuse across steps.
+
+Training steps execute the *same* op sequence every batch: the k-th op
+of step N+1 needs an output array of exactly the shape and dtype the
+k-th op of step N already allocated.  The arena exploits that: while a
+:func:`arena` context is active, participating ops draw their output
+buffers from a slot list indexed by a per-step cursor instead of
+calling ``np.empty`` — :func:`arena_step` (called by every trainer at
+the top of ``training_step``) rewinds the cursor, so step N+1 writes
+into step N's arrays.
+
+Memory model / safety invariants (see ``docs/engine-performance.md``):
+
+* **Off by default.**  No behavior changes unless user code enters
+  ``with arena(): ...``.
+* **Bit-identical when on.**  Buffers are only handed to numpy ``out=``
+  arguments (``np.add(..., out=)``, ``np.matmul(..., out=)``,
+  ``np.take(..., out=)``), which compute exactly the same values as a
+  fresh allocation.
+* **A slot buffer is private to its step.**  The cursor is monotonic
+  between rewinds, so no two ``take`` calls in one step return the same
+  array; a buffer is only rewritten on the *next* step, by which time
+  the previous step's graph (and anything derived from it without a
+  copy) must be dead.  Code that retains arrays across steps —
+  optimizer state, BatchNorm running stats, collected gradients —
+  must copy, which every in-tree consumer already does.
+* **Mismatch falls back to allocation.**  If the op sequence changes
+  (different batch shape, eval pass, first step), a shape/dtype
+  mismatch replaces the slot; ``evaluate``-style code paths run under
+  :func:`arena_pause` so they neither consume nor grow slots.
+* **Bounded.**  Slot memory is capped (``max_bytes``); beyond the cap
+  ``take`` degrades to plain allocation, so a pathological op stream
+  cannot OOM the process.
+"""
+
+from contextlib import contextmanager
+
+import numpy as np
+
+#: Default cap on total slot memory per arena (256 MiB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_ACTIVE = None
+
+
+class BufferArena:
+    """Slot list of reusable output arrays, rewound once per step."""
+
+    __slots__ = ("_slots", "_cursor", "max_bytes", "nbytes", "hits", "misses", "steps")
+
+    def __init__(self, max_bytes=DEFAULT_MAX_BYTES):
+        self._slots = []
+        self._cursor = 0
+        self.max_bytes = int(max_bytes)
+        self.nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.steps = 0
+
+    def begin_step(self):
+        """Rewind the cursor: subsequent takes reuse this arena's slots."""
+        self._cursor = 0
+        self.steps += 1
+
+    def take(self, shape, dtype):
+        """Return a reusable ``np.empty(shape, dtype)``-equivalent array.
+
+        The caller owns the buffer until the next :meth:`begin_step`
+        and must fully overwrite it (it is handed to ``out=`` of a
+        numpy op, never read).
+        """
+        slots = self._slots
+        index = self._cursor
+        if index < len(slots):
+            buf = slots[index]
+            if buf.shape == shape and buf.dtype == dtype:
+                self._cursor = index + 1
+                self.hits += 1
+                return buf
+            new = np.empty(shape, dtype=dtype)
+            self.nbytes += new.nbytes - buf.nbytes
+            slots[index] = new
+            self._cursor = index + 1
+            self.misses += 1
+            return new
+        new = np.empty(shape, dtype=dtype)
+        if self.nbytes + new.nbytes > self.max_bytes:
+            # Over the cap: degrade to plain allocation, don't grow.
+            self.misses += 1
+            return new
+        slots.append(new)
+        self.nbytes += new.nbytes
+        self._cursor = index + 1
+        self.misses += 1
+        return new
+
+    @property
+    def slot_count(self):
+        return len(self._slots)
+
+    def __repr__(self):
+        return (
+            f"BufferArena(slots={len(self._slots)}, nbytes={self.nbytes}, "
+            f"hits={self.hits}, misses={self.misses}, steps={self.steps})"
+        )
+
+
+def unary_out(x):
+    """Arena buffer matching ``x``'s geometry, or ``None`` to allocate.
+
+    Designed to feed a ufunc's ``out=`` argument directly — ufuncs
+    treat ``out=None`` as "allocate normally", so call sites stay
+    one-liners: ``np.exp(a, out=unary_out(a))``.
+    """
+    active = _ACTIVE
+    if active is None:
+        return None
+    return active.take(x.shape, x.dtype)
+
+
+def binary_out(x, y):
+    """Arena buffer for elementwise ``ufunc(x, y)``, or ``None``.
+
+    Only offered when both operands share a dtype, so the buffer dtype
+    is certainly the result dtype (a mismatched ``out=`` would either
+    error or silently downcast under ufunc casting rules).
+    """
+    active = _ACTIVE
+    if active is None or x.dtype != y.dtype:
+        return None
+    if x.shape == y.shape:
+        return active.take(x.shape, x.dtype)
+    return active.take(np.broadcast_shapes(x.shape, y.shape), x.dtype)
+
+
+def matmul_out(x, y):
+    """Arena buffer shaped like ``np.matmul(x, y)``, or ``None``."""
+    active = _ACTIVE
+    if active is None or x.dtype != y.dtype or x.ndim < 2 or y.ndim < 2:
+        return None
+    shape = np.broadcast_shapes(x.shape[:-2], y.shape[:-2]) + (x.shape[-2], y.shape[-1])
+    return active.take(shape, x.dtype)
+
+
+def zeros_buf(shape, dtype):
+    """Zero-filled array: an arena slot when active, ``np.zeros`` otherwise."""
+    active = _ACTIVE
+    if active is None:
+        return np.zeros(shape, dtype=dtype)
+    if not isinstance(shape, tuple):
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    buf = active.take(shape, dtype)
+    buf.fill(0)
+    return buf
+
+
+def current_arena():
+    """The active arena, or ``None`` outside an :func:`arena` context."""
+    return _ACTIVE
+
+
+def arena_active():
+    """``True`` while an arena context is active (and not paused)."""
+    return _ACTIVE is not None
+
+
+def arena_step():
+    """Mark a step boundary; no-op when no arena is active.
+
+    Every trainer calls this at the top of ``training_step`` so the
+    arena's cursor rewinds exactly once per optimization step.
+    """
+    active = _ACTIVE
+    if active is not None:
+        active.begin_step()
+
+
+def arena_take(shape, dtype):
+    """Arena buffer for an op output, or ``None`` to allocate normally."""
+    active = _ACTIVE
+    if active is None:
+        return None
+    return active.take(shape, dtype)
+
+
+@contextmanager
+def arena(max_bytes=DEFAULT_MAX_BYTES):
+    """Activate a fresh :class:`BufferArena` for the enclosed block.
+
+    ::
+
+        with arena() as buffers:
+            trainer.fit(train_loader, epochs=10)
+        print(buffers)   # hit/miss/slot statistics
+
+    Nesting replaces the outer arena for the inner block (each context
+    owns its own slots); the outer arena is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = BufferArena(max_bytes=max_bytes)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def arena_pause():
+    """Temporarily deactivate the arena (e.g. for evaluation loops).
+
+    Paused code neither consumes the step's slots nor grows the slot
+    list with shapes that will never recur in training steps.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous

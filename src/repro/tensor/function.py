@@ -8,12 +8,24 @@ differentiable ops, calling ``Tensor.backward(create_graph=True)``
 produces gradients that carry their own graph — which is exactly what
 HERO's Hessian regularizer (Eq. 16 of the paper) and the GRAD-L1
 baseline need (gradients of gradient norms).
+
+Ops may additionally implement ``backward_raw``, a raw-numpy mirror of
+``backward`` used by ``Tensor.backward(create_graph=False)``: it
+receives and returns plain ``numpy.ndarray`` gradients, skipping graph
+construction entirely.  A ``backward_raw`` MUST perform bit-identically
+the same floating-point operations as the Tensor-valued rule — the
+fast path is an implementation detail, never a numerics change (pinned
+by ``tests/tensor/test_raw_backward.py``).
 """
 
 import numpy as np
 
-from ._gradmode import is_grad_enabled
+from . import _gradmode
 from .policy import default_dtype, resolve_dtype
+
+# Injected by ``tensor.py`` at import time; avoids a circular import
+# without paying a per-call ``from .tensor import Tensor``.
+_Tensor = None
 
 
 class Function:
@@ -31,6 +43,11 @@ class Function:
         gradient or ``None`` for non-differentiable inputs.  The rule
         must be written with ``Tensor`` operations so that higher-order
         differentiation works.
+
+    ``backward_raw(self, grad_out)`` (optional)
+        Raw-array mirror of ``backward`` for the first-order fast path;
+        must reproduce ``backward``'s float ops bit-for-bit.  The base
+        implementation routes through ``backward`` and unwraps.
     """
 
     def __init__(self):
@@ -40,26 +57,35 @@ class Function:
     @classmethod
     def apply(cls, *tensors, **kwargs):
         """Run the op on ``tensors`` and wire up the graph if needed."""
-        from .tensor import Tensor
-
-        tensors = tuple(Tensor.as_tensor(t) for t in tensors)
+        T = _Tensor
+        if not all(type(t) is T or isinstance(t, T) for t in tensors):
+            tensors = tuple(T.as_tensor(t) for t in tensors)
         ctx = cls()
         out_data = ctx.forward(*(t.data for t in tensors), **kwargs)
-        if out_data.dtype != tensors[0].data.dtype and np.issubdtype(
-            out_data.dtype, np.floating
-        ):
+        if type(out_data) is not np.ndarray:
+            # Ufuncs on 0-d arrays return numpy scalars; keep the
+            # Tensor.data invariant (always an ndarray).
+            out_data = np.asarray(out_data)
+        first_dtype = tensors[0].data.dtype
+        if out_data.dtype != first_dtype and np.issubdtype(out_data.dtype, np.floating):
             # Keep op outputs in the promoted dtype of their inputs so
             # the engine dtype is stable across the graph (a forward
             # that allocated in the wrong precision is corrected here,
             # and explicit-float64 graphs stay float64 under a float32
             # policy).
             out_data = out_data.astype(np.result_type(*(t.data for t in tensors)), copy=False)
-        needs_graph = is_grad_enabled() and any(t.requires_grad for t in tensors)
-        out = Tensor(out_data, requires_grad=needs_graph, dtype=out_data.dtype)
+        needs_graph = _gradmode._GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        out = T.__new__(T)
+        out.data = out_data
+        out.requires_grad = needs_graph
+        out.grad = None
+        out._grad_owned = False
         if needs_graph:
             ctx.inputs = tensors
             ctx.requires_grad = True
             out._ctx = ctx
+        else:
+            out._ctx = None
         return out
 
     def forward(self, *arrays, **kwargs):
@@ -67,6 +93,18 @@ class Function:
 
     def backward(self, grad_out):
         raise NotImplementedError
+
+    def backward_raw(self, grad_out):
+        """Raw-array VJP fallback: route through ``backward`` and unwrap.
+
+        ``grad_out`` is a ``numpy.ndarray``; the return value is a tuple
+        of arrays/None per input.  Called with grad mode disabled, so
+        the Tensor ops inside ``backward`` do not record a graph.
+        """
+        grads = self.backward(_Tensor(grad_out, dtype=grad_out.dtype))
+        if not isinstance(grads, tuple):
+            grads = (grads,)
+        return tuple(None if g is None else g.data for g in grads)
 
     def __repr__(self):
         return f"<{type(self).__name__}>"
@@ -93,6 +131,28 @@ def unbroadcast(grad, shape):
     if stretched:
         grad = grad.sum(axis=stretched, keepdims=True)
     if tuple(grad.shape) != tuple(shape):
+        grad = grad.reshape(shape)
+    return grad
+
+
+def unbroadcast_raw(grad, shape):
+    """Raw-array mirror of :func:`unbroadcast` (same np calls, same bits).
+
+    The summations are issued exactly as the Tensor route would
+    (``Sum.forward`` calls ``a.sum(axis=<sorted tuple>, keepdims=...)``),
+    so first-order gradients are bit-identical between the two paths.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)), keepdims=False)
+    stretched = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    if grad.shape != shape:
         grad = grad.reshape(shape)
     return grad
 

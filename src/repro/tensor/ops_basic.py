@@ -1,12 +1,19 @@
 """Arithmetic primitives: add, neg, mul, pow and (batched) matmul.
 
-All backward rules are written with Tensor operations so that the
-backward pass is itself differentiable (double backprop).
+All ``backward`` rules are written with Tensor operations so that the
+backward pass is itself differentiable (double backprop).  Each op also
+carries a ``backward_raw`` mirror used by first-order ``backward()``:
+the same numpy calls in the same order, on raw arrays — bit-identical
+results without graph bookkeeping.  Forwards draw output buffers from
+the step arena when one is active (:mod:`repro.tensor.arena`); ufuncs
+treat ``out=None`` as a plain allocation, so the inactive path is
+unchanged.
 """
 
 import numpy as np
 
-from .function import Function, unbroadcast
+from .arena import binary_out as _binary_out, matmul_out as _matmul_out, unary_out as _unary_out
+from .function import Function, as_array, unbroadcast, unbroadcast_raw
 
 
 class Add(Function):
@@ -15,7 +22,7 @@ class Add(Function):
     def forward(self, a, b):
         self.a_shape = a.shape
         self.b_shape = b.shape
-        return a + b
+        return np.add(a, b, out=_binary_out(a, b))
 
     def backward(self, grad_out):
         return (
@@ -23,15 +30,24 @@ class Add(Function):
             unbroadcast(grad_out, self.b_shape),
         )
 
+    def backward_raw(self, grad_out):
+        return (
+            unbroadcast_raw(grad_out, self.a_shape),
+            unbroadcast_raw(grad_out, self.b_shape),
+        )
+
 
 class Neg(Function):
     """Elementwise negation."""
 
     def forward(self, a):
-        return -a
+        return np.negative(a, out=_unary_out(a))
 
     def backward(self, grad_out):
         return (-grad_out,)
+
+    def backward_raw(self, grad_out):
+        return (np.negative(grad_out, out=_unary_out(grad_out)),)
 
 
 class Mul(Function):
@@ -40,13 +56,23 @@ class Mul(Function):
     def forward(self, a, b):
         self.a_shape = a.shape
         self.b_shape = b.shape
-        return a * b
+        return np.multiply(a, b, out=_binary_out(a, b))
 
     def backward(self, grad_out):
         a, b = self.inputs
         return (
             unbroadcast(grad_out * b, self.a_shape),
             unbroadcast(grad_out * a, self.b_shape),
+        )
+
+    def backward_raw(self, grad_out):
+        a, b = self.inputs
+        ad, bd = a.data, b.data
+        grad_a = np.multiply(grad_out, bd, out=_binary_out(grad_out, bd))
+        grad_b = np.multiply(grad_out, ad, out=_binary_out(grad_out, ad))
+        return (
+            unbroadcast_raw(grad_a, self.a_shape),
+            unbroadcast_raw(grad_b, self.b_shape),
         )
 
 
@@ -71,6 +97,22 @@ class Pow(Function):
             return (grad_out * (a * 2.0),)
         return (grad_out * (a.pow(p - 1.0) * p),)
 
+    def backward_raw(self, grad_out):
+        (a,) = self.inputs
+        ad = a.data
+        p = self.exponent
+        if p == 1.0:
+            return (grad_out,)
+        if p == 2.0:
+            return (_mul_into(grad_out, _scale(ad, 2.0)),)
+        t = np.asarray(ad ** (p - 1.0))
+        # Mirror the graph route exactly: the scalar factor p is cast
+        # to the policy dtype there (Tensor(p)), which matters for
+        # non-representable exponents under a float32 policy.
+        s = as_array(p)
+        t = np.multiply(t, s, out=t) if s.dtype == t.dtype else np.multiply(t, s)
+        return (_mul_into(grad_out, np.asarray(t)),)
+
 
 class MatMul(Function):
     """Matrix product with numpy ``matmul`` semantics (>= 2-D inputs).
@@ -87,7 +129,7 @@ class MatMul(Function):
             )
         self.a_shape = a.shape
         self.b_shape = b.shape
-        return np.matmul(a, b)
+        return np.matmul(a, b, out=_matmul_out(a, b))
 
     def backward(self, grad_out):
         a, b = self.inputs
@@ -97,3 +139,37 @@ class MatMul(Function):
             unbroadcast(grad_a, self.a_shape),
             unbroadcast(grad_b, self.b_shape),
         )
+
+    def backward_raw(self, grad_out):
+        a, b = self.inputs
+        bt = b.data.swapaxes(-1, -2)
+        at = a.data.swapaxes(-1, -2)
+        grad_a = np.matmul(grad_out, bt, out=_matmul_out(grad_out, bt))
+        grad_b = np.matmul(at, grad_out, out=_matmul_out(at, grad_out))
+        return (
+            unbroadcast_raw(grad_a, self.a_shape),
+            unbroadcast_raw(grad_b, self.b_shape),
+        )
+
+
+def _scale(x, c):
+    """``x * c`` with ``c`` cast to the policy dtype, as the graph
+    route's ``Tensor(c)`` wrapping does.  Arena-buffered only when the
+    result dtype is certain (scalar dtype == array dtype)."""
+    s = as_array(c)
+    if s.dtype == x.dtype:
+        return np.multiply(x, s, out=_unary_out(x))
+    return np.asarray(np.multiply(x, s))
+
+
+def _mul_into(grad_out, t):
+    """``grad_out * t`` writing into ``t`` when dtypes permit.
+
+    ``t`` is always a scratch array private to the caller; writing the
+    product into it saves an allocation.  A dtype mismatch (e.g. a
+    float64 upstream gradient against a float32 recomputation) must
+    allocate: a narrower ``out=`` would silently downcast.
+    """
+    if grad_out.dtype == t.dtype and grad_out.shape == t.shape and t.flags.writeable:
+        return np.multiply(grad_out, t, out=t)
+    return np.multiply(grad_out, t)

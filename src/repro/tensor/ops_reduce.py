@@ -2,7 +2,8 @@
 
 import numpy as np
 
-from .function import Function
+from .arena import arena_take as _arena_take, binary_out as _binary_out
+from .function import Function, as_array
 from .tensor import Tensor
 
 
@@ -22,6 +23,15 @@ def _keepdims_shape(shape, axes):
     return tuple(1 if i in axes else s for i, s in enumerate(shape))
 
 
+def _reduced_shape(shape, axes, keepdims):
+    """Result shape of summing ``shape`` over ``axes``."""
+    if axes is None:
+        return (1,) * len(shape) if keepdims else ()
+    if keepdims:
+        return tuple(1 if i in axes else s for i, s in enumerate(shape))
+    return tuple(s for i, s in enumerate(shape) if i not in axes)
+
+
 class Sum(Function):
     """Sum over ``axis`` (int, tuple, or None for a full reduction)."""
 
@@ -29,12 +39,21 @@ class Sum(Function):
         self.in_shape = a.shape
         self.axes = _normalize_axis(axis, a.ndim)
         self.keepdims = keepdims
-        return a.sum(axis=self.axes, keepdims=keepdims)
+        out = _arena_take(_reduced_shape(a.shape, self.axes, keepdims), a.dtype)
+        return a.sum(axis=self.axes, keepdims=keepdims, out=out)
 
     def backward(self, grad_out):
         mid_shape = _keepdims_shape(self.in_shape, self.axes)
         grad = grad_out if self.keepdims else grad_out.reshape(mid_shape)
         return (grad.expand_to(self.in_shape),)
+
+    def backward_raw(self, grad_out):
+        mid_shape = _keepdims_shape(self.in_shape, self.axes)
+        grad = grad_out if self.keepdims else grad_out.reshape(mid_shape)
+        # The graph route materializes the broadcast (`Expand` copies);
+        # the values of a read-only broadcast view are identical, and
+        # the raw accumulator never mutates arrays it did not allocate.
+        return (np.broadcast_to(grad, self.in_shape),)
 
 
 class Max(Function):
@@ -64,3 +83,13 @@ class Max(Function):
         mid_shape = _keepdims_shape(self.in_shape, self.axes)
         grad = grad_out if self.keepdims else grad_out.reshape(mid_shape)
         return (grad.expand_to(self.in_shape) * Tensor(self.mask),)
+
+    def backward_raw(self, grad_out):
+        mid_shape = _keepdims_shape(self.in_shape, self.axes)
+        grad = grad_out if self.keepdims else grad_out.reshape(mid_shape)
+        expanded = np.broadcast_to(grad, self.in_shape)
+        # Tensor(mask) in the graph rule casts to the policy dtype; the
+        # tie-split mask holds non-dyadic values (1/3, ...), so the
+        # cast is replicated for bit parity.
+        m = as_array(self.mask)
+        return (np.multiply(expanded, m, out=_binary_out(expanded, m)),)

@@ -6,10 +6,16 @@ the flattened tensor and its transpose, a scatter-add.  They are exact
 adjoints of each other, so each one's backward rule is the other —
 giving the engine support for arbitrary-order differentiation through
 im2col convolution, pooling window extraction and label lookup.
+
+``backward_raw`` rules return views where the graph route would copy
+(``Pad``/``Concat`` adjoints slice; ``Reshape``/``Transpose`` re-view):
+values are identical, and the raw accumulator never mutates arrays it
+did not allocate, so aliasing is safe.
 """
 
 import numpy as np
 
+from .arena import arena_take as _arena_take, zeros_buf as _zeros_buf
 from .function import Function
 
 
@@ -21,6 +27,9 @@ class Reshape(Function):
         return a.reshape(shape)
 
     def backward(self, grad_out):
+        return (grad_out.reshape(self.in_shape),)
+
+    def backward_raw(self, grad_out):
         return (grad_out.reshape(self.in_shape),)
 
 
@@ -37,18 +46,31 @@ class Transpose(Function):
         inverse = np.argsort(self.axes)
         return (grad_out.transpose(tuple(int(i) for i in inverse)),)
 
+    def backward_raw(self, grad_out):
+        inverse = np.argsort(self.axes)
+        return (np.transpose(grad_out, tuple(int(i) for i in inverse)),)
+
 
 class Expand(Function):
     """Broadcast to ``shape`` (materialized); adjoint sums the axes back."""
 
     def forward(self, a, shape):
         self.in_shape = a.shape
+        buf = _arena_take(tuple(shape), a.dtype)
+        if buf is not None:
+            np.copyto(buf, a)
+            return buf
         return np.broadcast_to(a, shape).copy()
 
     def backward(self, grad_out):
         from .function import unbroadcast
 
         return (unbroadcast(grad_out, self.in_shape),)
+
+    def backward_raw(self, grad_out):
+        from .function import unbroadcast_raw
+
+        return (unbroadcast_raw(grad_out, self.in_shape),)
 
 
 class Pad(Function):
@@ -63,6 +85,9 @@ class Pad(Function):
     def backward(self, grad_out):
         return (grad_out[self.key],)
 
+    def backward_raw(self, grad_out):
+        return (grad_out[self.key],)
+
 
 class Slice(Function):
     """Basic indexing ``a[key]``; adjoint scatters into a zero tensor."""
@@ -75,17 +100,25 @@ class Slice(Function):
     def backward(self, grad_out):
         return (Unslice.apply(grad_out, key=self.key, in_shape=self.in_shape),)
 
+    def backward_raw(self, grad_out):
+        out = _zeros_buf(self.in_shape, grad_out.dtype)
+        out[self.key] = grad_out
+        return (out,)
+
 
 class Unslice(Function):
     """Adjoint of :class:`Slice`: place ``g`` into zeros at ``key``."""
 
     def forward(self, g, key, in_shape):
         self.key = key
-        out = np.zeros(in_shape, dtype=g.dtype)
+        out = _zeros_buf(in_shape, g.dtype)
         out[key] = g
         return out
 
     def backward(self, grad_out):
+        return (grad_out[self.key],)
+
+    def backward_raw(self, grad_out):
         return (grad_out[self.key],)
 
 
@@ -107,6 +140,16 @@ class Concat(Function):
             start += size
         return tuple(grads)
 
+    def backward_raw(self, grad_out):
+        grads = []
+        start = 0
+        for size in self.sizes:
+            key = [slice(None)] * grad_out.ndim
+            key[self.axis] = slice(start, start + size)
+            grads.append(grad_out[tuple(key)])
+            start += size
+        return tuple(grads)
+
 
 class TakeFlat(Function):
     """Gather from the flattened input: ``out = a.ravel()[indices]``.
@@ -118,11 +161,20 @@ class TakeFlat(Function):
     def forward(self, a, indices):
         self.indices = indices
         self.in_shape = a.shape
-        return a.reshape(-1)[indices]
+        flat = a.reshape(-1)
+        buf = _arena_take(indices.shape, a.dtype)
+        if buf is not None:
+            return np.take(flat, indices, out=buf)
+        return flat[indices]
 
     def backward(self, grad_out):
         return (
             ScatterAddFlat.apply(grad_out, indices=self.indices, in_shape=self.in_shape),
+        )
+
+    def backward_raw(self, grad_out):
+        return (
+            _scatter_add_flat_raw(grad_out, self.indices, self.in_shape),
         )
 
 
@@ -131,12 +183,24 @@ class ScatterAddFlat(Function):
 
     def forward(self, g, indices, in_shape):
         self.indices = indices
-        out = np.zeros(int(np.prod(in_shape)), dtype=g.dtype)
-        np.add.at(out, indices.reshape(-1), g.reshape(-1))
-        return out.reshape(in_shape)
+        return _scatter_add_flat_raw(g, indices, in_shape)
 
     def backward(self, grad_out):
         return (grad_out.take_flat(self.indices),)
+
+    def backward_raw(self, grad_out):
+        flat = grad_out.reshape(-1)
+        buf = _arena_take(self.indices.shape, grad_out.dtype)
+        if buf is not None:
+            return (np.take(flat, self.indices, out=buf),)
+        return (flat[self.indices],)
+
+
+def _scatter_add_flat_raw(g, indices, in_shape):
+    """Zero-init scatter-add shared by the forward and the raw adjoint."""
+    out = _zeros_buf((int(np.prod(in_shape)),), dtype=g.dtype)
+    np.add.at(out, indices.reshape(-1), g.reshape(-1))
+    return out.reshape(in_shape)
 
 
 def concat(tensors, axis=0):

@@ -9,11 +9,20 @@ The design follows the PyTorch model closely:
 * ``backward(create_graph=True)`` builds the backward pass itself as a
   differentiable graph, enabling Hessian-vector products and the
   double-backpropagation HERO requires.
+
+First-order ``backward()`` (``create_graph=False``) takes a raw fast
+path: each op's ``backward_raw`` rule runs on plain numpy arrays — no
+Tensor wrapping, no graph bookkeeping — and gradient accumulation is
+performed in place (``np.add(..., out=)``) into arrays the traversal
+itself allocated.  The raw path executes the same floating-point
+operations in the same order as the graph path, so gradients are
+bit-identical between the two (pinned by the parity tests).
 """
 
 import numpy as np
 
 from ._gradmode import no_grad, enable_grad
+from . import function
 from .function import as_array
 from .policy import resolve_dtype
 
@@ -36,13 +45,17 @@ class Tensor:
         Optional explicit dtype; ``None`` follows the policy.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_ctx")
+    __slots__ = ("data", "requires_grad", "grad", "_ctx", "_grad_owned")
 
     def __init__(self, data, requires_grad=False, dtype=None):
         self.data = as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad)
         self.grad = None
         self._ctx = None
+        # True when `.grad`'s buffer was allocated by the autograd
+        # accumulator itself (safe to np.add(..., out=) into); False for
+        # externally assigned gradients, which are never mutated.
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -136,8 +149,6 @@ class Tensor:
 
     def clone(self):
         """Return a differentiable copy of this tensor."""
-        from . import ops_shape
-
         return ops_shape.Reshape.apply(self, shape=self.shape)
 
     def copy_data(self):
@@ -146,6 +157,7 @@ class Tensor:
 
     def zero_grad(self):
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Backward
@@ -160,10 +172,15 @@ class Tensor:
         create_graph:
             When ``True`` the backward computation is itself recorded,
             so the resulting ``.grad`` tensors are differentiable (used
-            for Hessian-vector products and HERO's Eq. 16/17).
+            for Hessian-vector products and HERO's Eq. 16/17).  When
+            ``False`` the raw fast path runs instead (bit-identical
+            gradients, no graph, in-place accumulation).
         """
         if not self.requires_grad and self._ctx is None:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        if not create_graph:
+            self._backward_raw(grad)
+            return
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
@@ -174,18 +191,20 @@ class Tensor:
         topo = self._topological_order()
         grads = {id(self): grad}
 
-        mode = enable_grad() if create_graph else no_grad()
-        with mode:
+        with enable_grad():
             for node in topo:
                 node_grad = grads.pop(id(node), None)
                 if node_grad is None:
                     continue
                 if node.requires_grad and node._ctx is None:
-                    # Leaf: accumulate into .grad
+                    # Leaf: accumulate into .grad.  Graph-valued grads
+                    # never reuse an existing buffer — HVPs and HERO's
+                    # double backprop need the full history.
                     if node.grad is None:
                         node.grad = node_grad
                     else:
                         node.grad = node.grad + node_grad
+                    node._grad_owned = False
                     continue
                 ctx = node._ctx
                 if ctx is None:
@@ -207,6 +226,111 @@ class Tensor:
                     grads[id(parent)] = (
                         parent_grad if existing is None else existing + parent_grad
                     )
+
+    def _backward_raw(self, grad):
+        """First-order backward on raw numpy arrays (no graph, no Tensors).
+
+        Runs each op's ``backward_raw`` rule and accumulates with
+        in-place ``np.add(..., out=)`` wherever the destination buffer
+        is one this traversal allocated itself.  Ops may hand back the
+        *same* array for several parents (e.g. ``Add`` without
+        broadcasting) or a view of the upstream gradient, so in-place
+        accumulation is gated on ownership: only arrays created by the
+        ``existing + new`` allocation below are ever mutated.  The
+        float ops and their order match the graph path exactly, so the
+        results are bit-identical.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            seed = np.ones_like(self.data)
+        elif isinstance(grad, Tensor):
+            seed = grad.data
+        else:
+            seed = as_array(grad)
+
+        topo = self._topological_order()
+        grads = {id(self): seed}
+        # node-id -> accumulation buffer allocated *for that node*.  An
+        # array may be mutated in place only while it is the buffer of
+        # the node being accumulated: ops can hand the same array to
+        # several parents (``Add`` without broadcasting) or pass the
+        # upstream gradient through (``Pow(p=1)``), so an identity
+        # check against anything broader would corrupt aliases.
+        owner = {}
+
+        with no_grad():
+            for node in topo:
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
+                    continue
+                if type(node_grad) is not np.ndarray:
+                    # Ufuncs on 0-d operands return numpy scalars; the
+                    # raw rules below assume ndarray methods.
+                    node_grad = np.asarray(node_grad)
+                if node.requires_grad and node._ctx is None:
+                    # Leaf: accumulate into .grad, in place when the
+                    # existing buffer is accumulator-owned (satellite
+                    # fix: no `grad + g` allocation per accumulation).
+                    existing = node.grad
+                    if existing is None:
+                        leaf = Tensor.__new__(Tensor)
+                        leaf.data = node_grad
+                        leaf.requires_grad = False
+                        leaf.grad = None
+                        leaf._ctx = None
+                        leaf._grad_owned = False
+                        node.grad = leaf
+                        node._grad_owned = owner.get(id(node)) is node_grad
+                    else:
+                        data = existing.data
+                        if (
+                            node._grad_owned
+                            and data.dtype == node_grad.dtype
+                            and data.shape == node_grad.shape
+                        ):
+                            np.add(data, node_grad, out=data)
+                        else:
+                            leaf = Tensor.__new__(Tensor)
+                            leaf.data = np.asarray(data + node_grad)
+                            leaf.requires_grad = False
+                            leaf.grad = None
+                            leaf._ctx = None
+                            leaf._grad_owned = False
+                            node.grad = leaf
+                            node._grad_owned = True
+                    continue
+                ctx = node._ctx
+                if ctx is None:
+                    continue
+                input_grads = ctx.backward_raw(node_grad)
+                if len(input_grads) != len(ctx.inputs):
+                    raise RuntimeError(
+                        f"{type(ctx).__name__}.backward returned "
+                        f"{len(input_grads)} grads for {len(ctx.inputs)} inputs"
+                    )
+                for parent, parent_grad in zip(ctx.inputs, input_grads):
+                    if parent_grad is None:
+                        continue
+                    if not (parent.requires_grad or parent._ctx is not None):
+                        continue
+                    pid = id(parent)
+                    existing = grads.get(pid)
+                    if existing is None:
+                        grads[pid] = parent_grad
+                    elif (
+                        owner.get(pid) is existing
+                        and existing.dtype == parent_grad.dtype
+                        and existing.shape == parent_grad.shape
+                    ):
+                        np.add(existing, parent_grad, out=existing)
+                    else:
+                        # asarray: ufuncs on 0-d operands hand back
+                        # numpy scalars, which cannot be an `out=`
+                        # target on the next accumulation.
+                        total = np.asarray(existing + parent_grad)
+                        grads[pid] = total
+                        owner[pid] = total
 
     def _topological_order(self):
         """Return graph nodes in reverse-dependency order (self first)."""
@@ -232,18 +356,16 @@ class Tensor:
         return order
 
     # ------------------------------------------------------------------
-    # Operator overloads (implementations live in the ops_* modules)
+    # Operator overloads (implementations live in the ops_* modules,
+    # statically bound at module bottom — a per-call `from . import`
+    # here costs a measurable slice of every training step).
     # ------------------------------------------------------------------
     def __add__(self, other):
-        from . import ops_basic
-
         return ops_basic.Add.apply(self, other)
 
     __radd__ = __add__
 
     def __neg__(self):
-        from . import ops_basic
-
         return ops_basic.Neg.apply(self)
 
     def __sub__(self, other):
@@ -253,8 +375,6 @@ class Tensor:
         return Tensor.as_tensor(other) + (-self)
 
     def __mul__(self, other):
-        from . import ops_basic
-
         return ops_basic.Mul.apply(self, other)
 
     __rmul__ = __mul__
@@ -267,16 +387,12 @@ class Tensor:
         return Tensor.as_tensor(other) * self.pow(-1.0)
 
     def __matmul__(self, other):
-        from . import ops_basic
-
         return ops_basic.MatMul.apply(self, other)
 
     def __pow__(self, exponent):
         return self.pow(exponent)
 
     def pow(self, exponent):
-        from . import ops_basic
-
         return ops_basic.Pow.apply(self, exponent=float(exponent))
 
     # Comparisons produce detached boolean masks — useful for `where`.
@@ -296,74 +412,48 @@ class Tensor:
     # Elementwise math
     # ------------------------------------------------------------------
     def exp(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Exp.apply(self)
 
     def log(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Log.apply(self)
 
     def sqrt(self):
         return self.pow(0.5)
 
     def abs(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Abs.apply(self)
 
     def tanh(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Tanh.apply(self)
 
     def sigmoid(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Sigmoid.apply(self)
 
     def relu(self):
-        from . import ops_elementwise
-
         return ops_elementwise.Relu.apply(self)
 
     def clip(self, low, high):
-        from . import ops_elementwise
-
         return ops_elementwise.Clip.apply(self, low=low, high=high)
 
     def maximum(self, other):
-        from . import ops_elementwise
-
         return ops_elementwise.Maximum.apply(self, other)
 
     def minimum(self, other):
-        from . import ops_elementwise
-
         return ops_elementwise.Minimum.apply(self, other)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims=False):
-        from . import ops_reduce
-
         return ops_reduce.Sum.apply(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims=False):
-        from . import functional
-
         return functional.mean(self, axis=axis, keepdims=keepdims)
 
     def var(self, axis=None, keepdims=False):
-        from . import functional
-
         return functional.var(self, axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims=False):
-        from . import ops_reduce
-
         return ops_reduce.Max.apply(self, axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims=False):
@@ -380,8 +470,6 @@ class Tensor:
     # Shape ops
     # ------------------------------------------------------------------
     def reshape(self, *shape):
-        from . import ops_shape
-
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         return ops_shape.Reshape.apply(self, shape=shape)
@@ -391,8 +479,6 @@ class Tensor:
         return self.reshape(*lead, -1)
 
     def transpose(self, axes=None):
-        from . import ops_shape
-
         return ops_shape.Transpose.apply(self, axes=axes)
 
     def swapaxes(self, a, b):
@@ -401,18 +487,12 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def expand_to(self, shape):
-        from . import ops_shape
-
         return ops_shape.Expand.apply(self, shape=tuple(shape))
 
     def pad(self, pad_width, value=0.0):
-        from . import ops_shape
-
         return ops_shape.Pad.apply(self, pad_width=tuple(map(tuple, pad_width)), value=value)
 
     def __getitem__(self, key):
-        from . import ops_shape
-
         return ops_shape.Slice.apply(self, key=key)
 
     def take_flat(self, flat_indices):
@@ -421,10 +501,21 @@ class Tensor:
         ``out[i...] = self.ravel()[flat_indices[i...]]`` — the backbone of
         im2col convolution, pooling window extraction and label lookup.
         """
-        from . import ops_shape
-
         return ops_shape.TakeFlat.apply(self, indices=np.asarray(flat_indices))
 
 
 def _raw(value):
     return value.data if isinstance(value, Tensor) else value
+
+
+# Give Function.apply a direct reference to Tensor (breaking the
+# module cycle without per-call imports), then bind the op modules.
+# These imports sit at the bottom on purpose: the ops modules import
+# Tensor from here, which works because the class is defined by now.
+function._Tensor = Tensor
+
+from . import ops_basic  # noqa: E402
+from . import ops_elementwise  # noqa: E402
+from . import ops_reduce  # noqa: E402
+from . import ops_shape  # noqa: E402
+from . import functional  # noqa: E402

@@ -1,0 +1,89 @@
+"""HVPOperator: shared-graph Hessian-vector products match hvp_exact bitwise."""
+
+import numpy as np
+
+from repro import nn
+from repro.hessian import HVPOperator, full_hessian, hvp_exact, model_params
+from repro.models import MLP
+
+
+def make_problem(seed=0):
+    model = MLP(3, hidden=(5,), num_classes=2, rng=np.random.default_rng(seed))
+    loss_fn = nn.CrossEntropyLoss()
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((8, 3)).astype(np.float64)
+    y = rng.integers(0, 2, size=8)
+    return model, loss_fn, x, y
+
+
+def probe(model, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(p.data.shape) for p in model_params(model)]
+
+
+class TestSharedGraphParity:
+    def test_matvec_matches_hvp_exact_bitwise(self):
+        model, loss_fn, x, y = make_problem()
+        operator = HVPOperator(model, loss_fn, x, y)
+        for seed in range(4):
+            vectors = probe(model, seed)
+            shared = operator.matvec(vectors)
+            fresh = hvp_exact(model, loss_fn, x, y, vectors)
+            for a, b in zip(shared, fresh):
+                assert a.tobytes() == b.tobytes()
+
+    def test_repeated_matvec_is_deterministic(self):
+        model, loss_fn, x, y = make_problem(3)
+        operator = HVPOperator(model, loss_fn, x, y)
+        vectors = probe(model, 7)
+        first = operator.matvec(vectors)
+        second = operator.matvec(vectors)
+        for a, b in zip(first, second):
+            assert a.tobytes() == b.tobytes()
+
+    def test_matvec_many(self):
+        model, loss_fn, x, y = make_problem(5)
+        operator = HVPOperator(model, loss_fn, x, y)
+        probes = [probe(model, s) for s in range(3)]
+        results = operator.matvec_many(probes)
+        for vectors, result in zip(probes, results):
+            fresh = hvp_exact(model, loss_fn, x, y, vectors)
+            for a, b in zip(result, fresh):
+                assert a.tobytes() == b.tobytes()
+
+    def test_leaves_model_clean(self):
+        model, loss_fn, x, y = make_problem(8)
+        before = {name: buf.copy() for name, buf in model.named_buffers()}
+        weights = [p.data.copy() for p in model_params(model)]
+        operator = HVPOperator(model, loss_fn, x, y)
+        operator.matvec(probe(model, 0))
+        for name, buf in model.named_buffers():
+            assert np.array_equal(buf, before[name])
+        for p, w in zip(model_params(model), weights):
+            assert np.array_equal(p.data, w)
+        assert all(p.grad is None for p in model_params(model))
+
+
+class TestDenseHessianUsesOperator:
+    def test_full_hessian_symmetric_and_matches_columns(self):
+        from repro.tensor import dtype_context
+
+        with dtype_context("float64"):
+            model, loss_fn, x, y = make_problem(11)
+            hessian = full_hessian(model, loss_fn, x, y)
+            assert np.allclose(hessian, hessian.T, atol=1e-8)
+            # Column 0 equals a standalone exact HVP along e_0.
+            params = model_params(model)
+            vectors, offset = [], 0
+            n = hessian.shape[0]
+            basis = np.zeros(n)
+            basis[0] = 1.0
+            for p in params:
+                vectors.append(
+                    basis[offset : offset + p.data.size].reshape(p.data.shape)
+                )
+                offset += p.data.size
+            column = np.concatenate(
+                [v.reshape(-1) for v in hvp_exact(model, loss_fn, x, y, vectors)]
+            )
+            assert np.array_equal(hessian[:, 0], column)

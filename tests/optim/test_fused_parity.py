@@ -1,0 +1,277 @@
+"""Fused flat-arena optimizers must match the reference loops bit-for-bit.
+
+Every update rule in ``repro.optim`` is purely elementwise, so flattening
+all parameters of one dtype into a contiguous arena cannot change any
+result bit.  These tests pin that invariant (``tobytes()`` equality, not
+allclose) across dtypes, momentum/weight-decay/nesterov settings, ragged
+parameter shapes, ``None``-grad steps, state_dict round-trips, and
+external ``param.data`` rebinds (the QAT / ``load_state_dict`` pattern).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW
+from repro.tensor import Tensor
+
+RAGGED_SHAPES = [(3, 4), (7,), (), (2, 1, 5), (1,), (4, 3, 2, 2)]
+
+
+def make_params(dtype, seed, shapes=RAGGED_SHAPES):
+    rng = np.random.default_rng(seed)
+    return [
+        Parameter(rng.standard_normal(shape).astype(dtype) * 0.5) for shape in shapes
+    ]
+
+
+def clone_params(params):
+    return [Parameter(p.data.copy()) for p in params]
+
+
+def set_grads(params, rng, dtype, skip=()):
+    for index, param in enumerate(params):
+        if index in skip:
+            param.grad = None
+        else:
+            param.grad = Tensor(rng.standard_normal(param.data.shape).astype(dtype))
+
+
+def assert_bit_identical(params_a, params_b):
+    for a, b in zip(params_a, params_b):
+        assert a.data.dtype == b.data.dtype
+        assert a.data.tobytes() == b.data.tobytes()
+
+
+def run_parity(make_opt, dtype, steps=4, skip_schedule=None, seed=0):
+    """Drive fused and reference twins on identical grads; compare bits."""
+    ref_params = make_params(dtype, seed)
+    fused_params = clone_params(ref_params)
+    ref_opt = make_opt(ref_params, fused=False)
+    fused_opt = make_opt(fused_params, fused=True)
+    for step in range(steps):
+        grad_rng = np.random.default_rng(1000 + seed * 131 + step)
+        skip = skip_schedule(step) if skip_schedule else ()
+        set_grads(ref_params, grad_rng, dtype, skip)
+        grad_rng = np.random.default_rng(1000 + seed * 131 + step)
+        set_grads(fused_params, grad_rng, dtype, skip)
+        ref_opt.step()
+        fused_opt.step()
+        assert_bit_identical(ref_params, fused_params)
+    return ref_opt, fused_opt, ref_params, fused_params
+
+
+class TestSGDParity:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(lr=0.1),
+            dict(lr=0.05, momentum=0.9),
+            dict(lr=0.05, momentum=0.9, weight_decay=5e-4),
+            dict(lr=0.05, momentum=0.9, nesterov=True),
+            dict(lr=0.3, momentum=0.45, weight_decay=0.01, nesterov=True),
+        ],
+    )
+    def test_bitwise_parity(self, dtype, kwargs):
+        run_parity(lambda p, fused: SGD(p, fused=fused, **kwargs), dtype)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_none_grad_steps(self, dtype):
+        # Some parameters miss grads on some steps: the fused path must
+        # reproduce the reference skip semantics (frozen momentum), not
+        # zero-fill.
+        schedule = {0: (1, 3), 1: (), 2: (0, 1, 2, 3, 4, 5), 3: (5,)}
+        run_parity(
+            lambda p, fused: SGD(p, lr=0.1, momentum=0.9, weight_decay=1e-3, fused=fused),
+            dtype,
+            skip_schedule=lambda step: schedule[step],
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lr=st.floats(1e-4, 1.0),
+        momentum=st.sampled_from([0.0, 0.5, 0.9, 0.99]),
+        weight_decay=st.sampled_from([0.0, 1e-4, 0.1]),
+        nesterov=st.booleans(),
+        dtype=st.sampled_from([np.float32, np.float64]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_hypothesis_sweep(self, lr, momentum, weight_decay, nesterov, dtype, seed):
+        if nesterov and momentum == 0.0:
+            nesterov = False
+        run_parity(
+            lambda p, fused: SGD(
+                p,
+                lr=lr,
+                momentum=momentum,
+                weight_decay=weight_decay,
+                nesterov=nesterov,
+                fused=fused,
+            ),
+            dtype,
+            steps=3,
+            seed=seed,
+        )
+
+    def test_state_dict_cross_roundtrip(self):
+        # Fused state loads into a reference optimizer and vice versa,
+        # continuing bit-identically.
+        ref_opt, fused_opt, ref_params, fused_params = run_parity(
+            lambda p, fused: SGD(p, lr=0.1, momentum=0.9, fused=fused), np.float32
+        )
+        swapped_ref = SGD(ref_params, lr=0.1, momentum=0.9, fused=False)
+        swapped_ref.load_state_dict(fused_opt.state_dict())
+        fused_opt2 = SGD(fused_params, lr=0.1, momentum=0.9, fused=True)
+        fused_opt2.load_state_dict(ref_opt.state_dict())
+        rng = np.random.default_rng(77)
+        set_grads(ref_params, rng, np.float32)
+        rng = np.random.default_rng(77)
+        set_grads(fused_params, rng, np.float32)
+        swapped_ref.step()
+        fused_opt2.step()
+        assert_bit_identical(ref_params, fused_params)
+
+    def test_rebind_self_heal(self):
+        # External code rebinds param.data (QAT swaps, load_state_dict);
+        # the fused optimizer must absorb the new values and hand the
+        # arena view back.
+        params = make_params(np.float32, 3)
+        opt = SGD(params, lr=0.1, fused=True)
+        rng = np.random.default_rng(0)
+        set_grads(params, rng, np.float32)
+        opt.step()
+        flat_view = params[0].data
+        assert flat_view.base is not None  # handed back an arena view
+        replacement = np.full_like(flat_view, 0.25)
+        params[0].data = replacement  # rebind, as QAT restore does
+        set_grads(params, rng, np.float32)
+        grad0 = params[0].grad.data.copy()
+        opt.step()
+        assert params[0].data.base is flat_view.base  # healed into the arena
+        expected = np.asarray(replacement - 0.1 * grad0, dtype=np.float32)
+        assert params[0].data.tobytes() == expected.tobytes()
+
+    def test_rebind_matches_reference(self):
+        ref_params = make_params(np.float32, 5)
+        fused_params = clone_params(ref_params)
+        ref_opt = SGD(ref_params, lr=0.1, momentum=0.9, fused=False)
+        fused_opt = SGD(fused_params, lr=0.1, momentum=0.9, fused=True)
+        for step in range(3):
+            rng = np.random.default_rng(step)
+            set_grads(ref_params, rng, np.float32)
+            rng = np.random.default_rng(step)
+            set_grads(fused_params, rng, np.float32)
+            ref_opt.step()
+            fused_opt.step()
+            if step == 1:
+                # Rebind every weight on both sides (same values).
+                for rp, fp in zip(ref_params, fused_params):
+                    value = np.asarray(rp.data * 0.5 + 0.1, dtype=np.float32)
+                    rp.data = value.copy()
+                    fp.data = value.copy()
+        assert_bit_identical(ref_params, fused_params)
+
+
+class TestAdamParity:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("cls", [Adam, AdamW])
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(lr=1e-3),
+            dict(lr=1e-2, betas=(0.8, 0.95)),
+            dict(lr=1e-3, weight_decay=0.01),
+            dict(lr=3e-3, betas=(0.5, 0.999), weight_decay=0.1, eps=1e-6),
+        ],
+    )
+    def test_bitwise_parity(self, dtype, cls, kwargs):
+        run_parity(lambda p, fused: cls(p, fused=fused, **kwargs), dtype)
+
+    @pytest.mark.parametrize("cls", [Adam, AdamW])
+    def test_none_grad_steps(self, cls):
+        schedule = {0: (0,), 1: (2, 4), 2: (), 3: (1,)}
+        run_parity(
+            lambda p, fused: cls(p, lr=1e-2, weight_decay=0.05, fused=fused),
+            np.float32,
+            skip_schedule=lambda step: schedule[step],
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lr=st.floats(1e-5, 0.1),
+        beta1=st.sampled_from([0.0, 0.5, 0.9]),
+        beta2=st.sampled_from([0.9, 0.99, 0.999]),
+        weight_decay=st.sampled_from([0.0, 0.01]),
+        decoupled=st.booleans(),
+        dtype=st.sampled_from([np.float32, np.float64]),
+    )
+    def test_hypothesis_sweep(self, lr, beta1, beta2, weight_decay, decoupled, dtype):
+        cls = AdamW if decoupled else Adam
+        run_parity(
+            lambda p, fused: cls(
+                p, lr=lr, betas=(beta1, beta2), weight_decay=weight_decay, fused=fused
+            ),
+            dtype,
+            steps=3,
+        )
+
+    def test_state_dict_cross_roundtrip(self):
+        ref_opt, fused_opt, ref_params, fused_params = run_parity(
+            lambda p, fused: Adam(p, lr=1e-2, weight_decay=0.01, fused=fused), np.float64
+        )
+        swapped_ref = Adam(ref_params, lr=1e-2, weight_decay=0.01, fused=False)
+        swapped_ref.load_state_dict(fused_opt.state_dict())
+        fused2 = Adam(fused_params, lr=1e-2, weight_decay=0.01, fused=True)
+        fused2.load_state_dict(ref_opt.state_dict())
+        rng = np.random.default_rng(9)
+        set_grads(ref_params, rng, np.float64)
+        rng = np.random.default_rng(9)
+        set_grads(fused_params, rng, np.float64)
+        swapped_ref.step()
+        fused2.step()
+        assert_bit_identical(ref_params, fused_params)
+
+
+class TestViewContract:
+    def test_views_handed_back(self):
+        params = make_params(np.float32, 11)
+        opt = SGD(params, lr=0.1, fused=True)
+        rng = np.random.default_rng(0)
+        set_grads(params, rng, np.float32)
+        opt.step()
+        bases = {id(p.data.base) for p in params}
+        assert len(bases) == 1  # every float32 param windows one arena
+
+    def test_inplace_external_writes_visible(self):
+        # apply_offsets-style in-place writes go straight to the arena.
+        params = make_params(np.float32, 13)
+        opt = SGD(params, lr=0.1, fused=True)
+        rng = np.random.default_rng(0)
+        set_grads(params, rng, np.float32)
+        opt.step()
+        before = params[0].data.copy()
+        np.add(params[0].data, 1.0, out=params[0].data)
+        assert np.allclose(params[0].data, before + 1.0)
+        set_grads(params, rng, np.float32)
+        opt.step()  # no crash, no value reset
+
+    def test_mixed_dtype_groups(self):
+        rng = np.random.default_rng(0)
+        params = [
+            Parameter(rng.standard_normal((3, 3)).astype(np.float32)),
+            Parameter(rng.standard_normal((4,)).astype(np.float64)),
+            Parameter(rng.standard_normal((2, 2)).astype(np.float32)),
+        ]
+        ref = [Parameter(p.data.copy()) for p in params]
+        fused_opt = SGD(params, lr=0.1, momentum=0.9, fused=True)
+        ref_opt = SGD(ref, lr=0.1, momentum=0.9, fused=False)
+        for step in range(3):
+            for p, r in zip(params, ref):
+                g = np.random.default_rng(step).standard_normal(p.data.shape)
+                p.grad = Tensor(np.asarray(g, dtype=p.data.dtype))
+                r.grad = Tensor(np.asarray(g, dtype=r.data.dtype))
+            fused_opt.step()
+            ref_opt.step()
+        assert_bit_identical(params, ref)

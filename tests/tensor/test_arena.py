@@ -1,0 +1,160 @@
+"""Step-scoped buffer arena: bit-identical results, real buffer reuse.
+
+The arena (``repro.tensor.arena``) is opt-in and off by default.  When
+active, forward/backward kernels write into step-scoped slots that
+``arena_step()`` rewinds; buffers only ever feed ``out=`` arguments, so
+activating it must change **no bit** of any computed value — only where
+the bytes live.  These tests pin the bit-identity against arena-off
+runs, the slot-reuse accounting, the byte cap, and ``arena_pause``.
+"""
+
+import numpy as np
+
+from repro import nn, optim
+from repro.core import make_trainer
+from repro.data import gaussian_blobs
+from repro.models import MLP
+from repro.tensor import (
+    BufferArena,
+    Tensor,
+    arena,
+    arena_active,
+    arena_pause,
+    arena_step,
+    arena_take,
+    current_arena,
+)
+
+
+def train_weights(method, steps=6, use_arena=False, **kwargs):
+    ds = gaussian_blobs(n=60, num_classes=3, spread=2.0, noise=0.3, seed=0)
+    model = MLP(2, hidden=(12,), num_classes=3, rng=np.random.default_rng(0))
+    opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    trainer = make_trainer(method, model, nn.CrossEntropyLoss(), opt, **kwargs)
+    x, y = ds[np.arange(30)]
+
+    def run():
+        for _ in range(steps):
+            trainer.training_step(x, y)
+            opt.step()
+
+    if use_arena:
+        with arena():
+            run()
+    else:
+        run()
+    return [p.data.copy() for p in model.parameters()]
+
+
+class TestBitIdenticalTraining:
+    def test_sgd(self):
+        off = train_weights("sgd")
+        on = train_weights("sgd", use_arena=True)
+        for a, b in zip(off, on):
+            assert a.tobytes() == b.tobytes()
+
+    def test_hero(self):
+        off = train_weights("hero", h=0.05, gamma=0.05)
+        on = train_weights("hero", use_arena=True, h=0.05, gamma=0.05)
+        for a, b in zip(off, on):
+            assert a.tobytes() == b.tobytes()
+
+    def test_grad_l1(self):
+        off = train_weights("grad_l1", lambda_l1=0.01)
+        on = train_weights("grad_l1", use_arena=True, lambda_l1=0.01)
+        for a, b in zip(off, on):
+            assert a.tobytes() == b.tobytes()
+
+
+class TestSlotReuse:
+    def test_steady_state_recycles(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((16, 8)), requires_grad=True)
+        w = Tensor(np.random.default_rng(1).standard_normal((8, 4)), requires_grad=True)
+        with arena() as buf:
+            for _ in range(3):
+                arena_step()
+                ((x @ w).tanh().sum()).backward()
+            warm_slots = buf.slot_count
+            warm_bytes = buf.nbytes
+            for _ in range(10):
+                arena_step()
+                ((x @ w).tanh().sum()).backward()
+            assert buf.slot_count == warm_slots  # no new slots at steady state
+            assert buf.nbytes == warm_bytes
+            assert buf.hits > 0
+
+    def test_rewind_reuses_first_slot(self):
+        with arena() as buf:
+            arena_step()
+            first = arena_take((4, 4), np.float64)
+            arena_step()
+            again = arena_take((4, 4), np.float64)
+            assert again is first
+            assert buf.steps == 2
+
+    def test_shape_mismatch_replaces_slot(self):
+        with arena() as buf:
+            arena_step()
+            arena_take((4, 4), np.float64)
+            arena_step()
+            other = arena_take((3, 5), np.float64)
+            assert other.shape == (3, 5)
+            assert buf.misses >= 2  # cold alloc + replacement
+
+
+class TestCapAndPause:
+    def test_byte_cap_overflow_allocates_untracked(self):
+        with arena(max_bytes=128) as buf:
+            arena_step()
+            big = arena_take((64, 64), np.float64)  # 32 KiB > cap
+            assert big.shape == (64, 64)
+            assert buf.nbytes <= 128
+
+    def test_pause_deactivates(self):
+        with arena():
+            assert arena_active()
+            with arena_pause():
+                assert not arena_active()
+                assert arena_take((2, 2), np.float64) is None
+            assert arena_active()
+
+    def test_inactive_helpers_are_noops(self):
+        assert not arena_active()
+        assert current_arena() is None
+        assert arena_take((2, 2), np.float64) is None
+        arena_step()  # no-op without an active arena
+
+    def test_eval_inside_training_does_not_grow_arena(self):
+        ds = gaussian_blobs(n=30, num_classes=3, spread=2.0, noise=0.3, seed=0)
+        model = MLP(2, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+        opt = optim.SGD(model.parameters(), lr=0.1)
+        trainer = make_trainer("sgd", model, nn.CrossEntropyLoss(), opt)
+        x, y = ds[np.arange(30)]
+        from repro.data import ArrayDataset, DataLoader
+
+        loader = DataLoader(ArrayDataset(x, y), batch_size=30, shuffle=False)
+        with arena() as buf:
+            for _ in range(2):
+                trainer.training_step(x, y)
+                opt.step()
+            slots = buf.slot_count
+            trainer.evaluate(loader)  # runs under arena_pause
+            assert buf.slot_count == slots
+
+
+class TestBufferArenaUnit:
+    def test_repr_mentions_stats(self):
+        buf = BufferArena()
+        buf.begin_step()
+        buf.take((2, 2), np.float32)
+        assert "slots" in repr(buf)
+
+    def test_grad_values_survive_until_next_step(self):
+        # A leaf's .grad computed under the arena stays valid until the
+        # next arena_step() rewind — the optimizer reads it in between.
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        with arena():
+            arena_step()
+            (x * x).sum().backward()
+            grad_now = np.array(x.grad.data, copy=True)
+            assert np.allclose(grad_now, 2 * x.data)

@@ -1,0 +1,261 @@
+"""Raw-path backward (``create_graph=False``) vs graph-path parity.
+
+``backward()`` without ``create_graph`` dispatches to per-op
+``backward_raw`` rules working on plain ndarrays (no graph nodes, no
+Tensor wrapping, in-place accumulation into owned buffers).  Every raw
+rule must issue the same numpy calls in the same order as its
+graph-valued twin, so first-order gradients are **bit-identical**
+between the two routes — that contract is what lets trainers mix raw
+and graph backwards freely (HERO does, per step).  Pinned here with
+``tobytes()`` equality across ops, dtypes, precision policies,
+broadcasting patterns, and accumulation orders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, dtype_context
+
+
+def grads_via(fn, arrays, create_graph, seed_grad=None):
+    leaves = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*leaves)
+    if seed_grad is None:
+        out.backward(create_graph=create_graph)
+    else:
+        out.backward(Tensor(seed_grad.copy()), create_graph=create_graph)
+    return [
+        None if leaf.grad is None else np.array(leaf.grad.data, copy=True)
+        for leaf in leaves
+    ]
+
+
+def assert_parity(fn, *arrays, seed_grad=None):
+    raw = grads_via(fn, arrays, create_graph=False, seed_grad=seed_grad)
+    graph = grads_via(fn, arrays, create_graph=True, seed_grad=seed_grad)
+    for r, g in zip(raw, graph):
+        assert (r is None) == (g is None)
+        if r is not None:
+            assert r.dtype == g.dtype, (r.dtype, g.dtype)
+            assert r.shape == g.shape
+            assert r.tobytes() == g.tobytes()
+
+
+def rand(shape, dtype, seed):
+    return np.random.default_rng(seed).standard_normal(shape).astype(dtype)
+
+
+DTYPES = [np.float32, np.float64]
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: (x.exp()).sum(),
+            lambda x: ((x * x) + 1.0).log().sum(),
+            lambda x: x.tanh().sum(),
+            lambda x: x.sigmoid().sum(),
+            lambda x: x.relu().sum(),
+            lambda x: x.abs().sum(),
+            lambda x: x.clip(-0.5, 0.5).sum(),
+            lambda x: (x ** 3).sum(),
+            lambda x: (x ** 2).sum(),
+            lambda x: (x ** 1).sum(),
+            lambda x: (x ** 0.5).abs().sum(),
+            lambda x: (-x).sum(),
+            lambda x: (x ** -1.0).sum(),
+        ],
+    )
+    def test_unary(self, dtype, fn):
+        assert_parity(fn, rand((5, 7), dtype, 0) + 2.5)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a, b: (a + b).sum(),
+            lambda a, b: (a - b).sum(),
+            lambda a, b: (a * b).sum(),
+            lambda a, b: (a / (b.abs() + 1.0)).sum(),
+            lambda a, b: a.maximum(b).sum(),
+            lambda a, b: a.minimum(b).sum(),
+        ],
+    )
+    def test_binary_same_shape(self, dtype, fn):
+        assert_parity(fn, rand((4, 6), dtype, 1), rand((4, 6), dtype, 2))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_broadcasting(self, dtype):
+        a = rand((3, 1, 5), dtype, 3)
+        b = rand((4, 5), dtype, 4)
+        assert_parity(lambda x, y: (x * y).sum(), a, b)
+        assert_parity(lambda x, y: (x + y).sum(), a, b)
+        assert_parity(lambda x, y: x.maximum(y).sum(), a, b)
+        # scalar-array broadcast
+        assert_parity(lambda x, y: (x * y).sum(), rand((), dtype, 5), b)
+
+
+class TestReduceShapeOps:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: x.sum(),
+            lambda x: x.sum(axis=0).sum(),
+            lambda x: x.sum(axis=(0, 2), keepdims=True).sum(),
+            lambda x: x.max().sum(),
+            lambda x: x.max(axis=1).sum(),
+            lambda x: x.reshape(6, 10).sum(axis=1).sum(),
+            lambda x: x.transpose((2, 0, 1)).sum(),
+            lambda x: x.expand_to((7, 3, 4, 5)).sum(),
+            lambda x: x.pad(((1, 1), (0, 0), (2, 0))).sum(),
+            lambda x: x[1:, ::2, :3].sum(),
+            lambda x: x.take_flat(np.array([[0, 5], [3, 3]])).sum(),
+        ],
+    )
+    def test_structural(self, dtype, fn):
+        assert_parity(fn, rand((3, 4, 5), dtype, 6))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_max_with_ties(self, dtype):
+        # Repeated maxima split the gradient by a 1/k tie mask — a
+        # non-dyadic value whose policy-dtype cast the raw rule must
+        # replicate exactly.
+        x = np.array([[1.0, 3.0, 3.0, 3.0], [2.0, 2.0, 0.0, 1.0]], dtype=dtype)
+        assert_parity(lambda t: t.max(axis=1).sum(), x)
+        assert_parity(lambda t: t.max().sum(), x)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_concat_and_where(self, dtype):
+        from repro.tensor import concat, where
+
+        a = rand((2, 3), dtype, 7)
+        b = rand((4, 3), dtype, 8)
+        assert_parity(lambda x, y: concat([x, y], axis=0).sum(), a, b)
+        cond = rand((2, 3), dtype, 9) > 0
+        assert_parity(
+            lambda x, y: where(cond, x, y * 2.0).sum(),
+            a,
+            rand((2, 3), dtype, 10),
+        )
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_2d(self, dtype):
+        assert_parity(
+            lambda a, b: (a @ b).sum(), rand((4, 6), dtype, 11), rand((6, 3), dtype, 12)
+        )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_batched_broadcast(self, dtype):
+        a = rand((5, 2, 4, 6), dtype, 13)
+        b = rand((2, 6, 3), dtype, 14)
+        assert_parity(lambda x, y: (x @ y).sum(), a, b)
+
+
+class TestAccumulationAliasing:
+    """Graphs that exercise the raw accumulator's ownership rules."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            # Add hands the same upstream array to both parents.
+            lambda x: (x + x).sum(),
+            # Pow p=1 passes the gradient array through unchanged.
+            lambda x: ((x ** 1) * (x ** 1)).sum(),
+            # Diamond: two paths accumulate into one node.
+            lambda x: ((x * 2.0) + (x * 3.0)).sum(),
+            lambda x: ((x.exp()) * (x.exp())).sum(),
+            # Leaf feeding many consumers.
+            lambda x: (x * x * x + x.tanh() + x.relu()).sum(),
+            # Sum's raw adjoint is a read-only broadcast view; the
+            # accumulator must never write into it.
+            lambda x: (x.sum(axis=0).expand_to((4, 5)) + x).sum(),
+        ],
+    )
+    def test_aliased_paths(self, dtype, fn):
+        assert_parity(fn, rand((4, 5), dtype, 15))
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_repeated_backward_accumulates(self, dtype):
+        def run(create_graph):
+            x = Tensor(rand((3, 4), dtype, 16), requires_grad=True)
+            for _ in range(3):
+                ((x * x).sum()).backward(create_graph=create_graph)
+            return np.array(x.grad.data, copy=True)
+
+        assert run(False).tobytes() == run(True).tobytes()
+
+    def test_inplace_leaf_accumulation_reuses_buffer(self):
+        # Multi-path graphs leave the leaf owning its grad buffer; a
+        # second raw backward must accumulate in place, not reallocate
+        # (the satellite fix this file pins).
+        x = Tensor(rand((3, 4), np.float32, 17), requires_grad=True)
+        ((x * 2.0) + (x * 3.0)).sum().backward()
+        buf = x.grad.data
+        ((x * 2.0) + (x * 3.0)).sum().backward()
+        assert x.grad.data is buf  # same ndarray, updated in place
+
+    @pytest.mark.parametrize("first", ["raw", "graph"])
+    def test_mixed_route_accumulation(self, first):
+        def run(order):
+            x = Tensor(rand((3, 4), np.float64, 18), requires_grad=True)
+            for route in order:
+                (x * x).sum().backward(create_graph=(route == "graph"))
+            return np.array(x.grad.data, copy=True)
+
+        a = run([first, "raw" if first == "graph" else "graph"])
+        b = run(["graph", "graph"])
+        assert a.tobytes() == b.tobytes()
+
+
+class TestPolicyInteraction:
+    def test_f64_graph_under_f32_policy(self):
+        # Scalar wrapping (Tensor(c)) casts to the *policy* dtype; raw
+        # rules must replicate that cast even when the graph runs in a
+        # wider dtype than the policy.
+        with dtype_context("float32"):
+            x64 = rand((4, 5), np.float64, 19)
+            assert_parity(lambda x: (x ** 3).sum(), x64)
+            assert_parity(lambda x: x.tanh().sum(), x64)
+            assert_parity(lambda x: x.sigmoid().sum(), x64)
+            assert_parity(lambda x: x.max(axis=0).sum(), np.repeat(x64[:1], 4, axis=0))
+
+    def test_f32_graph_under_f64_policy(self):
+        with dtype_context("float64"):
+            x32 = rand((4, 5), np.float32, 20)
+            assert_parity(lambda x: (x ** 3).sum(), x32)
+            assert_parity(lambda x: x.tanh().sum(), x32)
+
+
+class TestSeededBackward:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_nonscalar_output_with_seed(self, dtype):
+        seed = rand((4, 3), dtype, 21)
+        assert_parity(
+            lambda a, b: a @ b,
+            rand((4, 6), dtype, 22),
+            rand((6, 3), dtype, 23),
+            seed_grad=seed,
+        )
+
+    def test_model_loss_parity(self):
+        # End-to-end: a small MLP + cross-entropy, the same graph every
+        # trainer builds per step.
+        from repro import nn
+        from repro.models import MLP
+
+        def run(create_graph):
+            model = MLP(6, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+            x = rand((10, 6), np.float32, 24)
+            y = np.random.default_rng(1).integers(0, 3, size=10)
+            loss = nn.CrossEntropyLoss()(model(Tensor(x)), y)
+            loss.backward(create_graph=create_graph)
+            return [np.array(p.grad.data, copy=True) for p in model.parameters()]
+
+        for r, g in zip(run(False), run(True)):
+            assert r.tobytes() == g.tobytes()
