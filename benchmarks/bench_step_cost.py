@@ -52,6 +52,7 @@ import numpy as np
 from repro import nn, optim
 from repro.core import make_trainer
 from repro.data import make_dataset
+from repro.messages import parse as parse_message
 from repro.models import create_model
 from repro.tensor import arena, dtype_context
 
@@ -193,10 +194,12 @@ def check_baseline(results, baseline_path):
 
     Returns a list of human-readable violation strings (empty = pass).
     A cell fails when steps/sec drops more than 20% or the transient
-    allocation peak rises more than 10%.
+    allocation peak rises more than 10%.  The baseline passes through
+    the message layer first, so a corrupted or foreign-format baseline
+    is a typed schema error, not a silent no-op gate.
     """
     with open(baseline_path) as fh:
-        baseline = json.load(fh)
+        baseline = parse_message("bench.step_cost", json.load(fh)).to_dict()
     base_cells = {cell_key(run): run for run in baseline["runs"]}
     violations = []
     for run in results["runs"]:
@@ -261,6 +264,10 @@ def main(argv=None):
     results = run_smoke(
         steps=args.steps, methods=methods, allocations=not args.no_allocations
     )
+    if args.json or args.update_baseline:
+        # Serialize-at-write validation: what lands on disk (the CI
+        # artifact, the checked-in baseline) is the canonical form.
+        results = parse_message("bench.step_cost", results).to_dict()
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(results, fh, indent=2)

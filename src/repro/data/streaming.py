@@ -48,6 +48,8 @@ import numpy as np
 from numpy.lib.format import open_memmap
 
 from ..io import JsonJournal, atomic_write_json, file_lock
+from ..messages import MessageError, ShardRecordV1
+from ..messages import parse as parse_message
 from ..tensor import default_dtype, dtype_context, dtype_name
 from .pipeline import (
     TEST_SPLIT,
@@ -253,18 +255,41 @@ def _open_targets(staging, split, mode="r+"):
     return open_memmap(os.path.join(staging, f"{split}_targets.npy"), mode=mode)
 
 
-def _journal_transition(journal, key, status, **extra):
-    stamp = time.time()
+def _journal_transition(journal, key, status, *, split, index, start=None, stop=None):
+    """Write one shard's state as a validated :class:`ShardRecordV1`.
 
-    def mutate(current):
-        record = dict(current or {})
-        record.update(
-            {"shard": key, "status": status, "updated_at": stamp, "pid": os.getpid()}
-        )
-        record.update(extra)
-        return record
+    Every transition rewrites the full record (the previous state
+    contributes nothing a caller doesn't re-supply), so an invalid
+    shard record can never be journaled.
+    """
+    record = ShardRecordV1(
+        shard=key,
+        status=status,
+        updated_at=time.time(),
+        pid=os.getpid(),
+        split=split,
+        index=index,
+        start=start,
+        stop=stop,
+    )
+    return journal.update(key, lambda current: record.to_dict())
 
-    return journal.update(key, mutate)
+
+def _parse_shard_state(journal, staging):
+    """The shard journal's snapshot, validated at the read boundary.
+
+    A record the message layer rejects — foreign fields, a missing
+    status, bytes from some future layout — aborts the resume with a
+    typed error naming the shard, instead of silently regenerating (or
+    worse, silently *skipping*) work.
+    """
+    state = {}
+    for key, payload in journal.snapshot().items():
+        try:
+            state[key] = parse_message("data.shard_record", payload).to_dict()
+        except MessageError as exc:
+            raise type(exc)(f"shard record {key!r} in {staging}: {exc}") from exc
+    return state
 
 
 def _write_shard(staging, spec, split, offset, index, start, stop, table):
@@ -399,7 +424,7 @@ def stream_dataset(
             return hit_report()
         staging, _resumed_layout = _allocate_staging(cache, key, spec, shard_size)
         journal = shard_journal(staging)
-        state = journal.snapshot()
+        state = _parse_shard_state(journal, staging)
 
         splits, tasks = [], []
         for name, offset in SPLITS:
@@ -410,7 +435,7 @@ def stream_dataset(
             done = {
                 entry["index"]
                 for entry in state.values()
-                if entry.get("split") == name and entry.get("status") == SHARD_DONE
+                if entry["split"] == name and entry["status"] == SHARD_DONE
             }
             if len(shards) <= 1:
                 if 0 in done:
@@ -501,7 +526,7 @@ def _commit_staged(cache, key, staging, spec, shard_size, splits):
     entry.
     """
     journal = shard_journal(staging)
-    state = journal.snapshot()
+    state = _parse_shard_state(journal, staging)
     missing = [
         shard_key(split.split, index)
         for split in splits

@@ -38,6 +38,7 @@ triggers a steal.  See ``docs/scheduler.md`` for the journal-state
 diagram and the multi-machine recipe.
 """
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -47,34 +48,27 @@ import uuid
 
 from ..core.trainer import Callback
 from ..io import JsonJournal, atomic_write_json, file_lock
+from ..messages import JournalEntryV2, MessageError
+from ..messages import parse as parse_message
 from .config import TrainConfig
 from .reporting import RunRecord, record_from_dict, record_to_dict
 from .runner import execute_record
 
 #: Journal entry schema version, bumped on any incompatible change.
-#: ``tests/test_golden.py`` pins the schema; a queue refuses entries
-#: from a different version instead of misreading them.
-#: Version 2 added the terminal ``quarantined`` state (the poison
-#: backstop, previously a synthetic ``error``) — a v1 worker would
-#: treat a quarantined entry as claimable garbage, hence the bump.
-JOURNAL_VERSION = 2
+#: Single-sourced from :class:`repro.messages.JournalEntryV2` — the
+#: schema itself lives in ``repro.messages`` and is pinned by the
+#: golden vectors under ``tests/messages/vectors/`` plus the hash in
+#: ``tests/test_golden.py``.  Version 2 added the terminal
+#: ``quarantined`` state (the poison backstop, previously a synthetic
+#: ``error``) — a v1 worker would treat a quarantined entry as
+#: claimable garbage, hence the bump.
+JOURNAL_VERSION = JournalEntryV2.VERSION
 
-#: Every key of a journal entry, in canonical order (the golden test
-#: asserts this tuple and the serialized shape never drift silently).
-ENTRY_FIELDS = (
-    "version",
-    "key",
-    "config",
-    "force",
-    "status",
-    "attempts",
-    "worker",
-    "leased_at",
-    "lease_expires",
-    "enqueued_at",
-    "started_at",
-    "finished_at",
-    "record",
+#: Every key of a journal entry, in canonical order — the version
+#: envelope plus the message type's fields (the golden test asserts
+#: this tuple and the serialized shape never drift silently).
+ENTRY_FIELDS = ("version",) + tuple(
+    field.name for field in dataclasses.fields(JournalEntryV2)
 )
 
 #: Task lifecycle states.  ``quarantined`` is terminal like ``done``
@@ -127,23 +121,48 @@ def new_entry(config, force=False, now=0.0):
     """A fresh ``pending`` journal entry for ``config``.
 
     Pure function of its arguments (the clock is passed in), so the
-    golden schema test can pin the exact serialized form.
+    golden schema test can pin the exact serialized form.  Built
+    through :class:`repro.messages.JournalEntryV2`, so an invalid
+    entry cannot even be constructed.
     """
-    return {
-        "version": JOURNAL_VERSION,
-        "key": config.cache_key(),
-        "config": config.to_dict(),
-        "force": bool(force),
-        "status": PENDING,
-        "attempts": 0,
-        "worker": None,
-        "leased_at": None,
-        "lease_expires": None,
-        "enqueued_at": now,
-        "started_at": None,
-        "finished_at": None,
-        "record": None,
-    }
+    return JournalEntryV2(
+        key=config.cache_key(),
+        config=config.to_dict(),
+        force=bool(force),
+        status=PENDING,
+        attempts=0,
+        worker=None,
+        leased_at=None,
+        lease_expires=None,
+        enqueued_at=now,
+        started_at=None,
+        finished_at=None,
+        record=None,
+    ).to_dict()
+
+
+def parse_entry(payload, key=None):
+    """Validate a raw journal payload at the read boundary.
+
+    Returns the canonical dict form of the (possibly upgraded) entry:
+    a v1 entry comes back as v2 via its ``upgrade()`` hook, a valid v2
+    entry round-trips unchanged, and anything else — unknown fields,
+    missing fields, a version this build cannot read — raises the
+    typed :class:`repro.messages.MessageError` subclass with the task
+    key attached, instead of surfacing as a ``KeyError`` deep in a
+    worker (or being silently skipped, as pre-messages compaction
+    did).
+    """
+    try:
+        return parse_message("queue.journal_entry", payload).to_dict()
+    except MessageError as exc:
+        where = f"journal entry {key!r}" if key is not None else "journal entry"
+        raise type(exc)(f"{where}: {exc}") from exc
+
+
+def _canonical_entry(entry):
+    """Serialize-at-write validation: canonical v2 form or a typed error."""
+    return JournalEntryV2.from_dict(entry).to_dict()
 
 
 class _ClaimLost(Exception):
@@ -256,6 +275,12 @@ class TaskQueue:
           ``force=True`` un-quarantines;
         * ``force=True`` → everything resets to ``pending`` with the
           force flag set, so workers retrain past the run cache.
+
+        Existing entries pass through the :func:`parse_entry` read
+        boundary first: an old-version entry is upgraded in place (and
+        persisted as v2, counted under its natural outcome rather than
+        vanished), while an entry this build cannot read raises a
+        typed :class:`repro.messages.VersionError` naming the key.
         """
         now = self.clock()
         enqueued = resumed = 0
@@ -266,19 +291,19 @@ class TaskQueue:
             fresh = new_entry(config, force=force, now=now)
             state = {}
 
-            def mutate(current, fresh=fresh, state=state):
-                if current is not None and current.get("version") != JOURNAL_VERSION:
-                    raise ValueError(
-                        f"journal entry {fresh['key']!r} has version "
-                        f"{current.get('version')!r}, this build speaks {JOURNAL_VERSION}"
-                    )
-                if current is None or force or current["status"] == ERROR:
+            def mutate(current, key=key, fresh=fresh, state=state):
+                entry = None if current is None else parse_entry(current, key=key)
+                if entry is None or force or entry["status"] == ERROR:
                     state["outcome"] = "enqueued"
                     return fresh
                 state["outcome"] = (
-                    "resumed" if current["status"] in (DONE, QUARANTINED) else "kept"
+                    "resumed" if entry["status"] in (DONE, QUARANTINED) else "kept"
                 )
-                return current
+                # A kept entry that parsing *changed* (a v1 entry that
+                # was upgraded) must be persisted; an unchanged entry
+                # returns the original object so JsonJournal skips the
+                # rewrite entirely.
+                return current if entry == current else entry
 
             self.journal.update(key, mutate)
             if state["outcome"] == "enqueued":
@@ -335,14 +360,17 @@ class TaskQueue:
         max_attempts = meta["max_attempts"]
         for key in self.keys():
             now = self.clock()
-            if not self._claimable(self.journal.read(key), now, lease_timeout):
+            peeked = self.journal.read(key)
+            peeked = None if peeked is None else parse_entry(peeked, key=key)
+            if not self._claimable(peeked, now, lease_timeout):
                 continue
 
-            def mutate(current, now=now):
-                if not self._claimable(current, now, lease_timeout):
+            def mutate(current, key=key, now=now):
+                entry = None if current is None else parse_entry(current, key=key)
+                if not self._claimable(entry, now, lease_timeout):
                     raise _ClaimLost(key)
-                if current["attempts"] >= max_attempts:
-                    lost = dict(current)
+                if entry["attempts"] >= max_attempts:
+                    lost = dict(entry)
                     lost["status"] = QUARANTINED
                     lost["worker"] = None
                     lost["leased_at"] = None
@@ -350,26 +378,26 @@ class TaskQueue:
                     lost["finished_at"] = now
                     lost["record"] = record_to_dict(
                         RunRecord(
-                            key=current["key"],
+                            key=entry["key"],
                             config=None,
                             status="error",
                             error=(
-                                f"lease expired {current['attempts']} time(s) "
-                                f"(last worker {current['worker']!r}); "
+                                f"lease expired {entry['attempts']} time(s) "
+                                f"(last worker {entry['worker']!r}); "
                                 f"max_attempts={max_attempts} exhausted"
                             ),
                         ),
                         include_config=False,
                     )
-                    return lost
-                leased = dict(current)
+                    return _canonical_entry(lost)
+                leased = dict(entry)
                 leased["status"] = LEASED
-                leased["attempts"] = current["attempts"] + 1
+                leased["attempts"] = entry["attempts"] + 1
                 leased["worker"] = worker
                 leased["leased_at"] = now
                 leased["lease_expires"] = now + lease_timeout
                 leased["started_at"] = now
-                return leased
+                return _canonical_entry(leased)
 
             try:
                 entry = self.journal.update(key, mutate)
@@ -389,12 +417,13 @@ class TaskQueue:
         meta = self.meta
 
         def mutate(current):
-            if current is None or current["status"] != LEASED or current["worker"] != worker:
+            entry = None if current is None else parse_entry(current, key=key)
+            if entry is None or entry["status"] != LEASED or entry["worker"] != worker:
                 raise _ClaimLost(key)
-            renewed = dict(current)
+            renewed = dict(entry)
             renewed["leased_at"] = self.clock()
             renewed["lease_expires"] = renewed["leased_at"] + meta["lease_timeout"]
-            return renewed
+            return _canonical_entry(renewed)
 
         try:
             self.journal.update(key, mutate)
@@ -412,16 +441,17 @@ class TaskQueue:
         """
 
         def mutate(current):
-            if current is None or current["status"] != LEASED or current["worker"] != worker:
+            entry = None if current is None else parse_entry(current, key=key)
+            if entry is None or entry["status"] != LEASED or entry["worker"] != worker:
                 raise _ClaimLost(key)
-            finished = dict(current)
+            finished = dict(entry)
             finished["status"] = DONE if record.ok else ERROR
             finished["worker"] = None
             finished["leased_at"] = None
             finished["lease_expires"] = None
             finished["finished_at"] = self.clock()
             finished["record"] = record_to_dict(record, include_config=False)
-            return finished
+            return _canonical_entry(finished)
 
         try:
             self.journal.update(key, mutate)
@@ -452,11 +482,12 @@ class TaskQueue:
             if entry["status"] != ERROR:
                 continue
 
-            def mutate(current):
-                if current is None or current["status"] != ERROR:
+            def mutate(current, key=key):
+                entry = None if current is None else parse_entry(current, key=key)
+                if entry is None or entry["status"] != ERROR:
                     raise _ClaimLost(key)  # someone else moved it first
-                moved = dict(current)
-                if current["attempts"] >= max_attempts:
+                moved = dict(entry)
+                if entry["attempts"] >= max_attempts:
                     moved["status"] = QUARANTINED
                 else:
                     moved["status"] = PENDING
@@ -465,7 +496,7 @@ class TaskQueue:
                     moved["lease_expires"] = None
                     moved["finished_at"] = None
                     moved["record"] = None
-                return moved
+                return _canonical_entry(moved)
 
             try:
                 moved = self.journal.update(key, mutate)
@@ -498,6 +529,7 @@ class TaskQueue:
 
     def record_for(self, entry):
         """Rebuild the :class:`RunRecord` a terminal ``entry`` stores."""
+        entry = parse_entry(entry, key=entry.get("key"))
         config = TrainConfig.from_dict(entry["config"])
         return record_from_dict(entry["record"], config=config)
 

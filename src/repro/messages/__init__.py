@@ -1,0 +1,94 @@
+"""Typed, versioned message layer for every on-disk record.
+
+See :mod:`repro.messages.base` for the model.  Import surface:
+
+* errors — :class:`MessageError` and its typed subclasses;
+* the :func:`parse` read boundary and the :func:`register` decorator;
+* the concrete record types for the five on-disk families (queue
+  journal, shard staging, heartbeat, status snapshot, bench result);
+* introspection — :func:`registered_types`, :func:`schema`,
+  :func:`schema_fingerprint` (used by the vectors manifest check).
+"""
+
+from .base import (
+    Check,
+    FieldTypeError,
+    Message,
+    MessageError,
+    MissingFieldError,
+    SchemaError,
+    UnknownFieldError,
+    UnknownTypeError,
+    UpgradeError,
+    VersionError,
+    dict_of,
+    enum,
+    is_bool,
+    is_int,
+    is_number,
+    is_object,
+    is_str,
+    latest,
+    list_of,
+    nested,
+    nullable,
+    parse,
+    register,
+    registered_types,
+    schema,
+    schema_fingerprint,
+)
+from .bench import StepCostResultV1, StepCostRunV1
+from .queue import JournalEntryV1, JournalEntryV2, RunRecordV1
+from .service import (
+    HeartbeatV1,
+    QueueStatusV1,
+    StatusSnapshotV1,
+    StatusWorkerV1,
+    SupervisorStateV1,
+    SupervisorStatusV1,
+    SupervisorWorkerV1,
+)
+from .shards import ShardRecordV1
+
+__all__ = [
+    "Check",
+    "FieldTypeError",
+    "HeartbeatV1",
+    "JournalEntryV1",
+    "JournalEntryV2",
+    "Message",
+    "MessageError",
+    "MissingFieldError",
+    "QueueStatusV1",
+    "RunRecordV1",
+    "SchemaError",
+    "ShardRecordV1",
+    "StatusSnapshotV1",
+    "StatusWorkerV1",
+    "StepCostResultV1",
+    "StepCostRunV1",
+    "SupervisorStateV1",
+    "SupervisorStatusV1",
+    "SupervisorWorkerV1",
+    "UnknownFieldError",
+    "UnknownTypeError",
+    "UpgradeError",
+    "VersionError",
+    "dict_of",
+    "enum",
+    "is_bool",
+    "is_int",
+    "is_number",
+    "is_object",
+    "is_str",
+    "latest",
+    "list_of",
+    "nested",
+    "nullable",
+    "parse",
+    "register",
+    "registered_types",
+    "schema",
+    "schema_fingerprint",
+]

@@ -1,0 +1,415 @@
+"""The typed message kernel: validated, versioned on-disk records.
+
+Every record the fleet persists — queue journal entries, streaming
+shard records, worker heartbeats, status snapshots, bench results —
+crosses a process (often a machine) boundary as JSON.  Before this
+layer each was an ad-hoc dict whose shape was enforced by whatever
+code read it next; a malformed or future-versioned record surfaced as
+a ``KeyError`` deep inside a worker.  This module makes the shape a
+contract:
+
+* a **message type** is a small dataclass with a ``TYPE_NAME``, a
+  ``VERSION`` and one :class:`Check` per field, in canonical
+  serialization order — ``to_dict`` / ``from_dict`` round-trip the
+  exact on-disk bytes (pinned by the golden vectors under
+  ``tests/messages/vectors/``);
+* parsing is **strict at the edge**: unknown fields, missing fields,
+  wrong-typed values and unreadable versions raise a typed
+  :class:`MessageError` subclass *where the record enters the
+  process*, never later;
+* versions are explicit: the :func:`parse` entry point dispatches on
+  the record's version field and walks older messages forward through
+  ``upgrade()`` hooks, and refuses future versions loudly — a v1 queue
+  entry is upgraded, a v3 entry is an error, neither is silently
+  dropped.
+
+The registry also exposes :func:`schema_fingerprint`, a stable hash of
+a type's full (recursive) field spec; the vectors manifest records it
+so CI fails whenever a schema changes without regenerated vectors.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+
+class MessageError(ValueError):
+    """Base of every typed message-layer failure."""
+
+
+class UnknownTypeError(MessageError):
+    """No message type registered under that name."""
+
+
+class VersionError(MessageError):
+    """A record's version is not readable by this build."""
+
+
+class UpgradeError(VersionError):
+    """An old-version message has no (working) upgrade path."""
+
+
+class SchemaError(MessageError):
+    """A payload's shape violates its type's schema."""
+
+
+class UnknownFieldError(SchemaError):
+    """A payload carries fields the schema does not know."""
+
+
+class MissingFieldError(SchemaError):
+    """A payload lacks a required field."""
+
+
+class FieldTypeError(SchemaError):
+    """A field's value has the wrong JSON type or domain."""
+
+
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# Field checks
+# ----------------------------------------------------------------------
+class Check:
+    """Validates one field's JSON value and knows its own spec.
+
+    ``validate`` accepts the *native* form (nested fields hold message
+    instances), ``load`` converts the *wire* form (nested fields are
+    dicts) and ``dump`` converts back; ``describe`` renders the spec
+    the schema fingerprint hashes.
+    """
+
+    def __init__(self, spec, fn):
+        self._spec = spec
+        self.fn = fn
+
+    def describe(self):
+        return self._spec
+
+    def _fail(self, value, where):
+        shown = repr(value)
+        if len(shown) > 120:
+            shown = shown[:117] + "..."
+        raise FieldTypeError(
+            f"{where}: expected {json.dumps(self.describe())}, got {shown}"
+        )
+
+    def validate(self, value, where):
+        if not self.fn(value):
+            self._fail(value, where)
+
+    def load(self, value, where):
+        self.validate(value, where)
+        return value
+
+    def dump(self, value):
+        return value
+
+
+def _type_check(spec, *types, forbid_bool=False):
+    def fn(value):
+        if forbid_bool and isinstance(value, bool):
+            return False
+        return isinstance(value, types)
+
+    return Check(spec, fn)
+
+
+is_str = _type_check("str", str)
+is_bool = _type_check("bool", bool)
+is_int = _type_check("int", int, forbid_bool=True)
+#: ints are acceptable wherever a number is (JSON has one number type).
+is_number = _type_check("number", int, float, forbid_bool=True)
+#: A free-form JSON object — for payloads owned by another schema
+#: (e.g. the TrainConfig dict inside a journal entry).
+is_object = _type_check("object", dict)
+
+
+def enum(*values):
+    """Membership in a fixed value set (the state-machine fields)."""
+    return Check(["enum", sorted(values)], lambda v: v in values)
+
+
+class Nullable(Check):
+    """``null`` or whatever the inner check accepts."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def describe(self):
+        return ["nullable", self.inner.describe()]
+
+    def validate(self, value, where):
+        if value is not None:
+            self.inner.validate(value, where)
+
+    def load(self, value, where):
+        return None if value is None else self.inner.load(value, where)
+
+    def dump(self, value):
+        return None if value is None else self.inner.dump(value)
+
+
+class ListOf(Check):
+    def __init__(self, item):
+        self.item = item
+
+    def describe(self):
+        return ["list", self.item.describe()]
+
+    def validate(self, value, where):
+        if not isinstance(value, list):
+            self._fail(value, where)
+        for index, item in enumerate(value):
+            self.item.validate(item, f"{where}[{index}]")
+
+    def load(self, value, where):
+        if not isinstance(value, list):
+            self._fail(value, where)
+        return [self.item.load(item, f"{where}[{index}]") for index, item in enumerate(value)]
+
+    def dump(self, value):
+        return [self.item.dump(item) for item in value]
+
+
+class DictOf(Check):
+    """A string-keyed mapping with uniformly checked values."""
+
+    def __init__(self, value_check):
+        self.value_check = value_check
+
+    def describe(self):
+        return ["dict", self.value_check.describe()]
+
+    def validate(self, value, where):
+        if not isinstance(value, dict) or not all(isinstance(k, str) for k in value):
+            self._fail(value, where)
+        for key, item in value.items():
+            self.value_check.validate(item, f"{where}[{key!r}]")
+
+    def load(self, value, where):
+        self.validate(value, where)
+        return dict(value)
+
+    def dump(self, value):
+        return {key: self.value_check.dump(item) for key, item in value.items()}
+
+
+class NestedMessage(Check):
+    """An embedded message type (validated recursively)."""
+
+    def __init__(self, cls):
+        self.cls = cls
+
+    def describe(self):
+        return ["message", schema(self.cls)]
+
+    def validate(self, value, where):
+        if not isinstance(value, self.cls):
+            raise FieldTypeError(
+                f"{where}: expected a {self.cls.__name__}, got {type(value).__name__}"
+            )
+
+    def load(self, value, where):
+        if not isinstance(value, dict):
+            self._fail(value, where)
+        return self.cls.from_dict(value)
+
+    def dump(self, value):
+        return value.to_dict()
+
+
+def nullable(inner):
+    return Nullable(inner)
+
+
+def list_of(item):
+    return ListOf(item)
+
+
+def dict_of(value_check):
+    return DictOf(value_check)
+
+
+def nested(cls):
+    return NestedMessage(cls)
+
+
+# ----------------------------------------------------------------------
+# Message base
+# ----------------------------------------------------------------------
+class Message:
+    """Base class for one validated record shape at one version.
+
+    Subclasses are ``@dataclass``\\ es whose field order *is* the
+    canonical serialization order, with one entry per field in
+    ``CHECKS``.  ``VERSION_FIELD`` names the envelope key carrying the
+    version on disk (``None`` for types whose records carry no version
+    key — their version is implicit and their schema change means a
+    new type name or an added version field).  Fields listed in
+    ``OMIT_IF_MISSING`` may be absent from the wire form and serialize
+    away when ``None`` — for records whose producers historically
+    wrote optional keys only when present.
+    """
+
+    TYPE_NAME = None
+    VERSION = 1
+    VERSION_FIELD = None
+    OMIT_IF_MISSING = ()
+    CHECKS = {}
+
+    def __post_init__(self):
+        where = f"{self.TYPE_NAME} v{self.VERSION}"
+        for field in dataclasses.fields(self):
+            self.CHECKS[field.name].validate(
+                getattr(self, field.name), f"{where}.{field.name}"
+            )
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Parse the wire form strictly; raises a :class:`MessageError`."""
+        where = f"{cls.TYPE_NAME} v{cls.VERSION}"
+        if not isinstance(payload, dict):
+            raise SchemaError(
+                f"{where}: payload must be an object, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        if cls.VERSION_FIELD is not None:
+            version = data.pop(cls.VERSION_FIELD, _MISSING)
+            if version is _MISSING:
+                raise MissingFieldError(f"{where}: missing {cls.VERSION_FIELD!r} field")
+            if version != cls.VERSION:
+                raise VersionError(
+                    f"{where}: cannot parse {cls.VERSION_FIELD}={version!r}"
+                )
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise UnknownFieldError(f"{where}: unknown field(s) {unknown}")
+        kwargs = {}
+        for field in dataclasses.fields(cls):
+            if field.name not in data:
+                if field.name in cls.OMIT_IF_MISSING:
+                    kwargs[field.name] = None
+                    continue
+                raise MissingFieldError(f"{where}: missing required field {field.name!r}")
+            kwargs[field.name] = cls.CHECKS[field.name].load(
+                data[field.name], f"{where}.{field.name}"
+            )
+        return cls(**kwargs)
+
+    def to_dict(self):
+        """The canonical wire form — key order matches the producers'."""
+        out = {}
+        if self.VERSION_FIELD is not None:
+            out[self.VERSION_FIELD] = self.VERSION
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name in self.OMIT_IF_MISSING and value is None:
+                continue
+            out[field.name] = self.CHECKS[field.name].dump(value)
+        return out
+
+    def upgrade(self):
+        """Return the same record as the next schema version.
+
+        Non-latest versions override this; the default refusal turns a
+        missing hop in the chain into a typed error instead of a
+        misread.
+        """
+        raise UpgradeError(
+            f"{self.TYPE_NAME} v{self.VERSION} has no upgrade path"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator adding one ``(TYPE_NAME, VERSION)`` to the registry.
+
+    Only *top-level* record families register; embedded section types
+    (e.g. the per-queue section of a status snapshot) stay unregistered
+    but still contribute to their parent's schema fingerprint.
+    """
+    key = (cls.TYPE_NAME, cls.VERSION)
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate message registration: {key}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def registered_types():
+    """Every registered message class, ordered by (name, version)."""
+    return [cls for _key, cls in sorted(_REGISTRY.items(), key=lambda kv: kv[0])]
+
+
+def latest(type_name):
+    """The newest registered class for ``type_name``."""
+    versions = [v for (name, v) in _REGISTRY if name == type_name]
+    if not versions:
+        raise UnknownTypeError(f"no message type registered as {type_name!r}")
+    return _REGISTRY[(type_name, max(versions))]
+
+
+def parse(type_name, payload):
+    """Parse ``payload`` as ``type_name``, upgrading old versions.
+
+    The single read-boundary entry point: dispatches on the payload's
+    version field, parses strictly with the matching class, then walks
+    ``upgrade()`` hooks until the latest version.  Unknown and future
+    versions raise :class:`VersionError` — a record is never silently
+    skipped or misread.
+    """
+    latest_cls = latest(type_name)
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"{type_name}: payload must be an object, got {type(payload).__name__}"
+        )
+    if latest_cls.VERSION_FIELD is None:
+        version = latest_cls.VERSION
+    else:
+        version = payload.get(latest_cls.VERSION_FIELD, _MISSING)
+        if version is _MISSING:
+            raise MissingFieldError(
+                f"{type_name}: missing {latest_cls.VERSION_FIELD!r} field"
+            )
+    cls = _REGISTRY.get((type_name, version))
+    if cls is None:
+        known = sorted(v for (name, v) in _REGISTRY if name == type_name)
+        raise VersionError(
+            f"{type_name}: version {version!r} is not readable by this build "
+            f"(knows {known})"
+        )
+    message = cls.from_dict(payload)
+    while message.VERSION < latest_cls.VERSION:
+        upgraded = message.upgrade()
+        if not isinstance(upgraded, Message) or upgraded.VERSION <= message.VERSION:
+            raise UpgradeError(
+                f"{type_name} v{message.VERSION}: upgrade() did not advance the version"
+            )
+        message = upgraded
+    return message
+
+
+def schema(cls):
+    """The full recursive field spec of a message class (JSON-able)."""
+    return {
+        "type": cls.TYPE_NAME,
+        "version": cls.VERSION,
+        "version_field": cls.VERSION_FIELD,
+        "omitted_when_null": sorted(cls.OMIT_IF_MISSING),
+        "fields": [
+            [field.name, cls.CHECKS[field.name].describe()]
+            for field in dataclasses.fields(cls)
+        ],
+    }
+
+
+def schema_fingerprint(cls):
+    """Stable hash of :func:`schema`; pinned by the vectors manifest."""
+    return hashlib.sha256(json.dumps(schema(cls), sort_keys=True).encode()).hexdigest()

@@ -1,0 +1,74 @@
+"""Bench result record type (``benchmarks/bench_step_cost.py``).
+
+Covers both the ``--json`` report and the checked-in regression
+baseline (``benchmarks/baselines/step_cost.json``) — same shape.
+"""
+
+from dataclasses import dataclass
+
+from .base import (
+    Message,
+    dict_of,
+    is_bool,
+    is_int,
+    is_number,
+    is_str,
+    list_of,
+    nested,
+    nullable,
+    register,
+)
+
+
+@dataclass
+class StepCostRunV1(Message):
+    """One measured configuration inside a step-cost result (embedded).
+
+    The ``alloc_*`` fields only exist when the bench ran with
+    allocation tracking, so they are omit-if-missing.
+    """
+
+    TYPE_NAME = "bench.step_cost_run"
+    VERSION = 1
+    VERSION_FIELD = None
+    OMIT_IF_MISSING = ("alloc_peak_bytes", "alloc_net_blocks", "alloc_net_bytes")
+    CHECKS = {
+        "method": is_str,
+        "dtype": is_str,
+        "fused": is_bool,
+        "arena": is_bool,
+        "seconds_per_step": is_number,
+        "steps_per_sec": is_number,
+        "alloc_peak_bytes": nullable(is_int),
+        "alloc_net_blocks": nullable(is_int),
+        "alloc_net_bytes": nullable(is_int),
+    }
+
+    method: str
+    dtype: str
+    fused: bool
+    arena: bool
+    seconds_per_step: float
+    steps_per_sec: float
+    alloc_peak_bytes: object = None
+    alloc_net_blocks: object = None
+    alloc_net_bytes: object = None
+
+
+@register
+@dataclass
+class StepCostResultV1(Message):
+    """The full step-cost bench result / baseline document."""
+
+    TYPE_NAME = "bench.step_cost"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "steps": is_int,
+        "runs": list_of(nested(StepCostRunV1)),
+        "speedups": dict_of(is_number),
+    }
+
+    steps: int
+    runs: list
+    speedups: dict

@@ -1,0 +1,134 @@
+"""Queue record types: journal entries and embedded run records.
+
+Producers/consumers live in ``repro.experiments.scheduler`` (the
+``TaskQueue`` journal) and ``repro.experiments.reporting`` (the run
+record embedded in resolved entries).  The ``config`` payload is a
+free-form object owned by ``TrainConfig`` — this module deliberately
+does not import ``repro.experiments`` (the scheduler imports *us*).
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+from .base import (
+    Message,
+    enum,
+    is_bool,
+    is_int,
+    is_number,
+    is_object,
+    is_str,
+    nested,
+    nullable,
+    register,
+)
+
+
+@register
+@dataclass
+class RunRecordV1(Message):
+    """The result payload embedded in ``done``/``error`` journal entries.
+
+    Written by ``reporting.record_to_dict(record, include_config=False)``
+    and by the scheduler's lease-expiry quarantine path; carries no
+    version key on disk, so the version is implicit.
+    """
+
+    TYPE_NAME = "queue.run_record"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "key": is_str,
+        "status": enum("ok", "error"),
+        "from_cache": is_bool,
+        "seconds": is_number,
+        "train_acc": nullable(is_number),
+        "test_acc": nullable(is_number),
+        "error": nullable(is_str),
+        "pid": is_int,
+    }
+
+    key: str
+    status: str
+    from_cache: bool
+    seconds: float
+    train_acc: object
+    test_acc: object
+    error: object
+    pid: int
+
+
+@register
+@dataclass
+class JournalEntryV2(Message):
+    """One task's lifecycle record in the queue journal (current).
+
+    v2 added the ``quarantined`` terminal state for tasks whose leases
+    expired ``max_attempts`` times.  Field order matches
+    ``scheduler.ENTRY_FIELDS`` and is pinned by the fresh-entry golden
+    hash in ``tests/test_golden.py``.
+    """
+
+    TYPE_NAME = "queue.journal_entry"
+    VERSION = 2
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "key": is_str,
+        "config": is_object,
+        "force": is_bool,
+        "status": enum("pending", "leased", "done", "error", "quarantined"),
+        "attempts": is_int,
+        "worker": nullable(is_str),
+        "leased_at": nullable(is_number),
+        "lease_expires": nullable(is_number),
+        "enqueued_at": is_number,
+        "started_at": nullable(is_number),
+        "finished_at": nullable(is_number),
+        "record": nullable(nested(RunRecordV1)),
+    }
+
+    key: str
+    config: dict
+    force: bool
+    status: str
+    attempts: int
+    worker: object
+    leased_at: object
+    lease_expires: object
+    enqueued_at: float
+    started_at: object
+    finished_at: object
+    record: object
+
+
+@register
+@dataclass
+class JournalEntryV1(Message):
+    """The pre-quarantine journal entry (same fields, 4-state enum)."""
+
+    TYPE_NAME = "queue.journal_entry"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = dict(
+        JournalEntryV2.CHECKS,
+        status=enum("pending", "leased", "done", "error"),
+    )
+
+    key: str
+    config: dict
+    force: bool
+    status: str
+    attempts: int
+    worker: object
+    leased_at: object
+    lease_expires: object
+    enqueued_at: float
+    started_at: object
+    finished_at: object
+    record: object
+
+    def upgrade(self):
+        # Every v1 state is a valid v2 state; the payload carries over.
+        return JournalEntryV2(
+            **{f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        )

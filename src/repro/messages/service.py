@@ -1,0 +1,252 @@
+"""Service-layer record types: heartbeats, supervisor state, status.
+
+Producers/consumers live in ``repro.service`` — ``heartbeat.py``
+(per-worker beat files), ``supervisor.py`` (``supervisor.json``) and
+``status.py`` (the ``STATUS_VERSION=1`` snapshot behind
+``repro-service queue-status --json``).  The status snapshot embeds
+*annotated* copies of the heartbeat and supervisor records (liveness
+verdict + age), so those sections get their own nested types here
+rather than reusing the raw writer types.
+"""
+
+from dataclasses import dataclass
+
+from .base import (
+    Message,
+    dict_of,
+    enum,
+    is_bool,
+    is_int,
+    is_number,
+    is_str,
+    list_of,
+    nested,
+    nullable,
+    register,
+)
+
+
+@register
+@dataclass
+class HeartbeatV1(Message):
+    """One worker's beat file, rewritten atomically every interval.
+
+    ``state`` gains a reader-side pseudo-state ``unreadable`` in the
+    status snapshot (see :class:`StatusWorkerV1`) but the writer only
+    ever produces the three real states.
+    """
+
+    TYPE_NAME = "service.heartbeat"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "worker": is_str,
+        "pid": is_int,
+        "host": is_str,
+        "state": enum("idle", "running", "exited"),
+        "queue": nullable(is_str),
+        "key": nullable(is_str),
+        "tasks_done": is_int,
+        "interval": is_number,
+        "started_at": is_number,
+        "beat_at": is_number,
+    }
+
+    worker: str
+    pid: int
+    host: str
+    state: str
+    queue: object
+    key: object
+    tasks_done: int
+    interval: float
+    started_at: float
+    beat_at: float
+
+
+@dataclass
+class SupervisorWorkerV1(Message):
+    """One supervised slot inside ``supervisor.json`` (embedded only)."""
+
+    TYPE_NAME = "service.supervisor_worker"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "slot": is_str,
+        "worker": is_str,
+        "pid": nullable(is_int),
+        "alive": is_bool,
+        "restarts": is_int,
+        "spawned_at": nullable(is_number),
+    }
+
+    slot: str
+    worker: str
+    pid: object
+    alive: bool
+    restarts: int
+    spawned_at: object
+
+
+@register
+@dataclass
+class SupervisorStateV1(Message):
+    """The fleet supervisor's own state file (``supervisor.json``)."""
+
+    TYPE_NAME = "service.supervisor_state"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "pid": is_int,
+        "host": is_str,
+        "status": enum("running", "stopped"),
+        # null until the supervisor's pool actually starts (a patrol
+        # pass on an unstarted supervisor still publishes state).
+        "started_at": nullable(is_number),
+        "updated_at": is_number,
+        "poll": is_number,
+        "queues": nullable(list_of(is_str)),
+        "retried_total": is_int,
+        "quarantined_total": is_int,
+        "restarts_total": is_int,
+        "workers": list_of(nested(SupervisorWorkerV1)),
+    }
+
+    pid: int
+    host: str
+    status: str
+    started_at: float
+    updated_at: float
+    poll: float
+    queues: list
+    retried_total: int
+    quarantined_total: int
+    restarts_total: int
+    workers: list
+
+
+@dataclass
+class StatusWorkerV1(Message):
+    """A heartbeat as it appears in the status snapshot (embedded only).
+
+    The snapshot annotates each heartbeat with the reader's liveness
+    verdict and age; fields a torn/unreadable beat file cannot supply
+    are nullable and the ``unreadable`` pseudo-state marks the
+    placeholder the reader synthesizes for such files.
+    """
+
+    TYPE_NAME = "service.status_worker"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "worker": is_str,
+        "pid": nullable(is_int),
+        "host": nullable(is_str),
+        "state": enum("idle", "running", "exited", "unreadable"),
+        "queue": nullable(is_str),
+        "key": nullable(is_str),
+        "tasks_done": is_int,
+        "interval": nullable(is_number),
+        "started_at": nullable(is_number),
+        "beat_at": nullable(is_number),
+        "liveness": enum("alive", "stale", "dead", "exited"),
+        "age_seconds": nullable(is_number),
+    }
+
+    worker: str
+    pid: object
+    host: object
+    state: str
+    queue: object
+    key: object
+    tasks_done: int
+    interval: object
+    started_at: object
+    beat_at: object
+    liveness: str
+    age_seconds: object
+
+
+@dataclass
+class QueueStatusV1(Message):
+    """One queue's section of the status snapshot (embedded only)."""
+
+    TYPE_NAME = "service.queue_status"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "name": is_str,
+        "root": is_str,
+        "lease_timeout": is_number,
+        "max_attempts": is_int,
+        "counts": dict_of(is_int),
+        "total": is_int,
+        "remaining": is_int,
+        "throughput_per_s": is_number,
+        "eta_seconds": nullable(is_number),
+        "leased_to": list_of(is_str),
+    }
+
+    name: str
+    root: str
+    lease_timeout: float
+    max_attempts: int
+    counts: dict
+    total: int
+    remaining: int
+    throughput_per_s: float
+    eta_seconds: object
+    leased_to: list
+
+
+@dataclass
+class SupervisorStatusV1(Message):
+    """The supervisor section of the status snapshot (embedded only)."""
+
+    TYPE_NAME = "service.supervisor_status"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = dict(
+        SupervisorStateV1.CHECKS,
+        liveness=enum("alive", "dead", "stopped"),
+        age_seconds=is_number,
+    )
+
+    pid: int
+    host: str
+    status: str
+    started_at: float
+    updated_at: float
+    poll: float
+    queues: list
+    retried_total: int
+    quarantined_total: int
+    restarts_total: int
+    workers: list
+    liveness: str
+    age_seconds: float
+
+
+@register
+@dataclass
+class StatusSnapshotV1(Message):
+    """The full ``STATUS_VERSION=1`` document (``queue-status --json``)."""
+
+    TYPE_NAME = "service.status"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "generated_at": is_number,
+        "cache_dir": is_str,
+        "supervisor": nullable(nested(SupervisorStatusV1)),
+        "workers": list_of(nested(StatusWorkerV1)),
+        "queues": list_of(nested(QueueStatusV1)),
+        "totals": dict_of(is_int),
+    }
+
+    generated_at: float
+    cache_dir: str
+    supervisor: object
+    workers: list
+    queues: list
+    totals: dict

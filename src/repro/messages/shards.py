@@ -1,0 +1,45 @@
+"""Streaming shard-staging record type.
+
+Produced/consumed by ``repro.data.streaming`` — the per-shard journal
+that makes shard writes resumable (``pending -> writing -> done``).
+"""
+
+from dataclasses import dataclass
+
+from .base import Message, enum, is_int, is_number, is_str, nullable, register
+
+
+@register
+@dataclass
+class ShardRecordV1(Message):
+    """One shard's staging state in the streaming-writer journal.
+
+    ``start``/``stop`` (the example range covered by the shard) are
+    only written for per-shard records, so both are omit-if-missing:
+    split-level records lack them and must still parse (the
+    ``v1split`` golden vector pins this).
+    """
+
+    TYPE_NAME = "data.shard_record"
+    VERSION = 1
+    VERSION_FIELD = None
+    OMIT_IF_MISSING = ("start", "stop")
+    CHECKS = {
+        "shard": is_str,
+        "status": enum("pending", "writing", "done"),
+        "updated_at": is_number,
+        "pid": is_int,
+        "split": is_str,
+        "index": is_int,
+        "start": nullable(is_int),
+        "stop": nullable(is_int),
+    }
+
+    shard: str
+    status: str
+    updated_at: float
+    pid: int
+    split: str
+    index: int
+    start: object = None
+    stop: object = None

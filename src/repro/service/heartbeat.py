@@ -20,10 +20,13 @@ import socket
 import time
 
 from ..io import atomic_write_json, read_json
+from ..messages import HeartbeatV1, MessageError
+from ..messages import parse as parse_message
 
 #: Heartbeat file schema version (independent of the journal schema —
 #: heartbeats are advisory observability, not coordination state).
-HEARTBEAT_VERSION = 1
+#: Single-sourced from :class:`repro.messages.HeartbeatV1`.
+HEARTBEAT_VERSION = HeartbeatV1.VERSION
 
 #: Default seconds between heartbeat rewrites.  Between-step beats are
 #: throttled to this, so even a smoke run at hundreds of steps/second
@@ -80,19 +83,18 @@ class Heartbeat:
             return False
         atomic_write_json(
             self.path,
-            {
-                "version": HEARTBEAT_VERSION,
-                "worker": self.worker,
-                "pid": os.getpid(),
-                "host": socket.gethostname(),
-                "state": state,
-                "queue": os.path.basename(queue) if queue else None,
-                "key": key,
-                "tasks_done": self.tasks_done,
-                "interval": self.interval,
-                "started_at": self.started_at,
-                "beat_at": now,
-            },
+            HeartbeatV1(
+                worker=self.worker,
+                pid=os.getpid(),
+                host=socket.gethostname(),
+                state=state,
+                queue=os.path.basename(queue) if queue else None,
+                key=key,
+                tasks_done=self.tasks_done,
+                interval=self.interval,
+                started_at=self.started_at,
+                beat_at=now,
+            ).to_dict(),
         )
         self._wrote_at = now
         self._state = state
@@ -104,8 +106,39 @@ class Heartbeat:
         self.beat("exited", force=True)
 
 
+def _unreadable_entry(worker):
+    """Placeholder for a heartbeat file that exists but cannot be parsed.
+
+    A zero-byte or truncated file (a torn write, a worker killed
+    mid-``rename``) or bytes the message layer rejects must not crash
+    the supervisor patrol — and must not *vanish* from ``queue-status``
+    either, because a file that exists proves a worker existed.  The
+    placeholder carries the synthetic ``unreadable`` state and no
+    ``beat_at``, which :func:`liveness` classifies as ``stale``.
+    """
+    return {
+        "version": HEARTBEAT_VERSION,
+        "worker": worker,
+        "pid": None,
+        "host": None,
+        "state": "unreadable",
+        "queue": None,
+        "key": None,
+        "tasks_done": 0,
+        "interval": None,
+        "started_at": None,
+        "beat_at": None,
+    }
+
+
 def read_heartbeats(cache_dir):
-    """Every heartbeat on disk, sorted by worker name (lock-free)."""
+    """Every heartbeat on disk, sorted by worker name (lock-free).
+
+    Each file passes through the message layer; one that cannot be
+    parsed — empty, truncated, or a version this build does not speak —
+    is surfaced as an ``unreadable`` placeholder rather than silently
+    skipped or allowed to raise into the observer.
+    """
     directory = heartbeat_dir(cache_dir)
     if not os.path.isdir(directory):
         return []
@@ -113,9 +146,11 @@ def read_heartbeats(cache_dir):
     for name in sorted(os.listdir(directory)):
         if not name.endswith(".json"):
             continue
-        entry = read_json(os.path.join(directory, name))
-        if isinstance(entry, dict) and entry.get("version") == HEARTBEAT_VERSION:
-            beats.append(entry)
+        raw = read_json(os.path.join(directory, name))
+        try:
+            beats.append(parse_message("service.heartbeat", raw).to_dict())
+        except MessageError:
+            beats.append(_unreadable_entry(name[: -len(".json")]))
     return beats
 
 
@@ -124,10 +159,14 @@ def liveness(entry, now):
 
     Ages are measured against the *writer's* declared interval, so a
     deliberately slow-beating worker is not misread as stale by an
-    observer configured differently.
+    observer configured differently.  An ``unreadable`` placeholder
+    (see :func:`read_heartbeats`) has no beat to age, so it is
+    ``stale`` by definition: evidence of a worker, no proof of life.
     """
     if entry.get("state") == "exited":
         return "exited"
+    if entry.get("state") == "unreadable" or entry.get("beat_at") is None:
+        return "stale"
     interval = entry.get("interval") or DEFAULT_INTERVAL
     age = now - entry.get("beat_at", 0.0)
     if age <= ALIVE_INTERVALS * interval:

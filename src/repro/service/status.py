@@ -24,12 +24,15 @@ from ..experiments.scheduler import (
     QUARANTINED,
     TaskQueue,
 )
+from ..messages import StatusSnapshotV1
 from .heartbeat import liveness, read_heartbeats
 from .supervisor import discover_queues, read_supervisor_state
 
 #: ``queue-status`` snapshot schema version.  Bump on any change to
 #: the document's shape; consumers should check it before parsing.
-STATUS_VERSION = 1
+#: Single-sourced from :class:`repro.messages.StatusSnapshotV1`, whose
+#: golden vectors pin the exact emitted bytes.
+STATUS_VERSION = StatusSnapshotV1.VERSION
 
 #: Trailing window (seconds) over which queue throughput is measured.
 THROUGHPUT_WINDOW = 300.0
@@ -141,7 +144,13 @@ def build_status(cache_dir, queues=None, clock=time.time, window=THROUGHPUT_WIND
         dict(
             entry,
             liveness=liveness(entry, now),
-            age_seconds=round(now - entry.get("beat_at", 0.0), 3),
+            # An unreadable placeholder has no beat to age (see
+            # heartbeat.read_heartbeats); its age is unknowable.
+            age_seconds=(
+                round(now - entry["beat_at"], 3)
+                if entry.get("beat_at") is not None
+                else None
+            ),
         )
         for entry in read_heartbeats(cache_dir)
     ]
@@ -154,7 +163,7 @@ def build_status(cache_dir, queues=None, clock=time.time, window=THROUGHPUT_WIND
     totals["queues"] = len(queue_sections)
     totals["workers_alive"] = sum(1 for w in workers if w["liveness"] == "alive")
 
-    return {
+    document = {
         "version": STATUS_VERSION,
         "generated_at": now,
         "cache_dir": cache_dir,
@@ -163,6 +172,11 @@ def build_status(cache_dir, queues=None, clock=time.time, window=THROUGHPUT_WIND
         "queues": queue_sections,
         "totals": totals,
     }
+    # Serialize-at-write validation: the snapshot is this build's
+    # outward contract (dashboards parse it), so an ill-formed document
+    # fails here, in the producer, not in a consumer.  The round-trip
+    # is byte-identity — the golden vectors pin that.
+    return StatusSnapshotV1.from_dict(document).to_dict()
 
 
 def format_status(status):
@@ -181,10 +195,15 @@ def format_status(status):
         )
     for worker in status["workers"]:
         task = f" on {worker['key']}" if worker.get("key") else ""
+        beat = (
+            f"beat {worker['age_seconds']:.1f}s ago"
+            if worker["age_seconds"] is not None
+            else "beat unreadable"
+        )
         lines.append(
             f"  worker {worker['worker']}: {worker['liveness']} "
             f"({worker['state']}{task}, {worker['tasks_done']} task(s) done, "
-            f"beat {worker['age_seconds']:.1f}s ago)"
+            f"{beat})"
         )
     if not status["queues"]:
         lines.append("queues: none")

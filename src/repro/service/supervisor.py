@@ -45,10 +45,13 @@ from ..experiments.scheduler import (
     run_claimed_task,
 )
 from ..io import atomic_write_json, read_json
+from ..messages import MessageError, SupervisorStateV1, SupervisorWorkerV1
+from ..messages import parse as parse_message
 from .heartbeat import DEFAULT_INTERVAL, Heartbeat, service_dir
 
-#: Supervisor state-file schema version.
-SUPERVISOR_VERSION = 1
+#: Supervisor state-file schema version.  Single-sourced from
+#: :class:`repro.messages.SupervisorStateV1`.
+SUPERVISOR_VERSION = SupervisorStateV1.VERSION
 
 #: Restarts per worker slot before the supervisor gives up on it.  A
 #: crash loop this deep is an environment problem (bad install, full
@@ -182,11 +185,18 @@ def _fleet_worker_main(task):
 
 
 def read_supervisor_state(cache_dir):
-    """The supervisor's last published state, or ``None`` (lock-free)."""
-    state = read_json(os.path.join(service_dir(cache_dir), "supervisor.json"))
-    if isinstance(state, dict) and state.get("version") == SUPERVISOR_VERSION:
-        return state
-    return None
+    """The supervisor's last published state, or ``None`` (lock-free).
+
+    The state file is advisory observability, not coordination state,
+    so a file this build cannot parse (torn write, foreign version)
+    degrades to ``None`` — the same as no supervisor — rather than
+    failing the whole status snapshot.
+    """
+    raw = read_json(os.path.join(service_dir(cache_dir), "supervisor.json"))
+    try:
+        return parse_message("service.supervisor_state", raw).to_dict()
+    except MessageError:
+        return None
 
 
 class FleetSupervisor:
@@ -253,30 +263,29 @@ class FleetSupervisor:
         """Publish the supervisor's view atomically (lock-free reads)."""
         atomic_write_json(
             self.state_path,
-            {
-                "version": SUPERVISOR_VERSION,
-                "pid": os.getpid(),
-                "host": socket.gethostname(),
-                "status": status,
-                "started_at": self.started_at,
-                "updated_at": self.clock(),
-                "poll": self.poll,
-                "queues": self.queues,
-                "retried_total": self.retried_total,
-                "quarantined_total": self.quarantined_total,
-                "restarts_total": sum(slot["restarts"] for slot in self.slots),
-                "workers": [
-                    {
-                        "slot": slot["name"],
-                        "worker": slot["worker"],
-                        "pid": slot["proc"].pid if slot["proc"] is not None else None,
-                        "alive": slot["proc"] is not None and slot["proc"].is_alive(),
-                        "restarts": slot["restarts"],
-                        "spawned_at": slot["spawned_at"],
-                    }
+            SupervisorStateV1(
+                pid=os.getpid(),
+                host=socket.gethostname(),
+                status=status,
+                started_at=self.started_at,
+                updated_at=self.clock(),
+                poll=self.poll,
+                queues=self.queues,
+                retried_total=self.retried_total,
+                quarantined_total=self.quarantined_total,
+                restarts_total=sum(slot["restarts"] for slot in self.slots),
+                workers=[
+                    SupervisorWorkerV1(
+                        slot=slot["name"],
+                        worker=slot["worker"],
+                        pid=slot["proc"].pid if slot["proc"] is not None else None,
+                        alive=slot["proc"] is not None and slot["proc"].is_alive(),
+                        restarts=slot["restarts"],
+                        spawned_at=slot["spawned_at"],
+                    )
                     for slot in self.slots
                 ],
-            },
+            ).to_dict(),
         )
 
     # -- lifecycle -----------------------------------------------------

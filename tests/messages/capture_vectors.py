@@ -1,0 +1,535 @@
+"""Capture golden vectors for every on-disk record family.
+
+Each vector file under ``tests/messages/vectors/`` pins the **exact
+bytes** one of the live producers writes, so the typed message layer
+(:mod:`repro.messages`) can be proven byte-compatible with what real
+runs left on disk before it existed.  The builders drive the real
+producers (``new_entry``/``TaskQueue``, the streaming shard journal,
+``Heartbeat``, ``FleetSupervisor.write_state``, ``build_status``, the
+``bench_step_cost`` baseline) under injected clocks and patched
+pid/hostname, so regeneration is deterministic: the conformance suite
+re-runs every builder and diffs the output against the checked-in
+corpus.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/messages/capture_vectors.py            # rewrite vectors
+    PYTHONPATH=src python tests/messages/capture_vectors.py --manifest # + MANIFEST.json
+    PYTHONPATH=src python tests/messages/capture_vectors.py --check    # CI drift gate
+
+``--check`` regenerates everything into a temp directory and fails
+(exit 1) on any difference from the checked-in vectors or manifest —
+the ``message-vectors`` CI gate: a ``repro.messages`` schema cannot
+change without new vectors landing next to it.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+from unittest import mock
+
+VECTOR_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "vectors")
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Deterministic stand-ins for the ambient identity every producer stamps.
+FAKE_PID = 4242
+FAKE_HOST = "vector-host"
+WORKER = "vector-worker:7:feedbeef"
+T0 = 1000.0
+
+
+class FakeClock:
+    """An injectable, manually advanced ``time.time`` replacement."""
+
+    def __init__(self, now=T0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def canonical_bytes(payload):
+    """The exact bytes ``atomic_write_json``/``json.dump`` emits (compact)."""
+    return json.dumps(payload).encode()
+
+
+def normalize(value, root):
+    """Replace the scenario's temp root in every string with ``/CACHE``.
+
+    Status documents embed absolute paths (``cache_dir``, queue roots);
+    everything else in them is deterministic, so this is the only
+    normalization golden status vectors need.
+    """
+    if isinstance(value, str):
+        return value.replace(root, "/CACHE")
+    if isinstance(value, list):
+        return [normalize(item, root) for item in value]
+    if isinstance(value, dict):
+        return {key: normalize(item, root) for key, item in value.items()}
+    return value
+
+
+def _identity_patches():
+    return (
+        mock.patch("os.getpid", return_value=FAKE_PID),
+        mock.patch("socket.gethostname", return_value=FAKE_HOST),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario builders (each drives the real producers)
+# ----------------------------------------------------------------------
+def build_journal_scenario(cache_dir, clock=None):
+    """A v2 queue journal exercising every lifecycle state.
+
+    Returns ``(queue, configs)``; the journal under ``queue.root`` holds
+    one entry per state: pending, leased, done, error, quarantined —
+    plus the leased entry the quarantine pass rolls onto.
+    """
+    from repro.experiments import RunRecord, TaskQueue, TrainConfig
+
+    clock = clock or FakeClock()
+    configs = [
+        TrainConfig(dtype="float32"),
+        TrainConfig(dtype="float64"),
+        TrainConfig(dtype="float32", epochs=2),
+        TrainConfig(dtype="float32", epochs=3),
+    ]
+    queue = TaskQueue.create(cache_dir, "vectors", clock=clock)
+    queue.enqueue(configs)
+
+    # done: claim + resolve ok (c1)
+    entry = queue.claim(WORKER)
+    clock.now = T0 + 2.0
+    queue.resolve(
+        entry["key"], WORKER,
+        RunRecord(key=entry["key"], config=configs[0], status="ok",
+                  seconds=1.5, train_acc=0.5, test_acc=0.25),
+    )
+    # error: claim + resolve error (c2)
+    entry = queue.claim(WORKER)
+    clock.now = T0 + 3.0
+    queue.resolve(
+        entry["key"], WORKER,
+        RunRecord(key=entry["key"], config=configs[1], status="error",
+                  seconds=0.25, error="RuntimeError: boom"),
+    )
+    # leased (c3): claim, then exhaust its attempts and expire the lease
+    # so the next claim quarantines it (the poison backstop), rolling a
+    # fresh lease onto c4.
+    entry = queue.claim(WORKER)
+
+    def exhaust(current):
+        bumped = dict(current)
+        bumped["attempts"] = queue.meta["max_attempts"]
+        return bumped
+
+    queue.journal.update(entry["key"], exhaust)
+    clock.now = T0 + 1000.0  # past the default 900 s lease timeout
+    queue.claim(WORKER)
+    return queue, configs
+
+
+def journal_vectors():
+    from repro.experiments import TrainConfig
+    from repro.experiments.scheduler import new_entry
+
+    vectors = []
+    pending = new_entry(TrainConfig(dtype="float32"), force=False, now=0.0)
+    vectors.append((
+        "journal_entry_v2__pending.json", "queue.journal_entry", 2,
+        "fresh pending entry from new_entry() at now=0 (matches the "
+        "tests/test_golden.py fingerprint)", pending,
+    ))
+    # v1 entries: same field set, version 1, no quarantined state (the
+    # documented pre-PR-6 schema) — the upgrade-path fixtures.
+    v1_pending = dict(pending, version=1)
+    vectors.append((
+        "journal_entry_v1__pending.json", "queue.journal_entry", 1,
+        "synthesized v1 pending entry (same fields as v2; the version "
+        "gated state-machine semantics only)", v1_pending,
+    ))
+
+    tmp = tempfile.mkdtemp(prefix="vector-journal-")
+    try:
+        queue, configs = build_journal_scenario(tmp)
+        by_status = {}
+        for key, entry in sorted(queue.snapshot().items()):
+            by_status.setdefault(entry["status"], (key, entry))
+        for status in ("leased", "done", "error", "quarantined"):
+            key, entry = by_status[status]
+            vectors.append((
+                f"journal_entry_v2__{status}.json", "queue.journal_entry", 2,
+                f"live {status} entry captured from a real TaskQueue "
+                "lifecycle under an injected clock", entry,
+            ))
+        done_key, done_entry = by_status["done"]
+        v1_done = dict(done_entry, version=1)
+        vectors.append((
+            "journal_entry_v1__done.json", "queue.journal_entry", 1,
+            "synthesized v1 done entry (upgrade fixture)", v1_done,
+        ))
+        vectors.append((
+            "run_record_v1__ok.json", "queue.run_record", 1,
+            "journal-embedded run record of a successful task",
+            done_entry["record"],
+        ))
+        _err_key, err_entry = by_status["error"]
+        vectors.append((
+            "run_record_v1__error.json", "queue.run_record", 1,
+            "journal-embedded run record of a contained failure",
+            err_entry["record"],
+        ))
+        # The bit-identical drill corpus: raw file text of the whole
+        # pre-PR journal directory, exactly as atomic_write_json left it.
+        files = {}
+        for name in sorted(os.listdir(queue.journal.root)):
+            if name.endswith(".json"):
+                with open(os.path.join(queue.journal.root, name)) as fh:
+                    files[name] = fh.read()
+        vectors.append((
+            "journal_v2_pre_pr_drill.json", "drill.journal_v2", 2,
+            "raw bytes of a complete v2-era journal directory; the new "
+            "layer must read and re-serialize each file bit-identically",
+            {"files": files},
+        ))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
+def shard_vectors():
+    from repro.data.streaming import (
+        SHARD_DONE,
+        SHARD_WRITING,
+        _journal_transition,
+        shard_journal,
+    )
+
+    tmp = tempfile.mkdtemp(prefix="vector-shards-")
+    vectors = []
+    try:
+        journal = shard_journal(tmp)
+        getpid, _host = _identity_patches()
+        with getpid, mock.patch("time.time", return_value=T0):
+            _journal_transition(journal, "train-00000", SHARD_WRITING,
+                                split="train", index=0, start=0, stop=8192)
+            writing = journal.read("train-00000")
+            _journal_transition(journal, "train-00000", SHARD_DONE,
+                                split="train", index=0, start=0, stop=8192)
+            done = journal.read("train-00000")
+            _journal_transition(journal, "test-00000", SHARD_DONE,
+                                split="test", index=0)
+            v1_done = journal.read("test-00000")
+        vectors = [
+            ("shard_record_v1__writing.json", "data.shard_record", 1,
+             "v2 shard mid-write (stamped before the first byte lands)", writing),
+            ("shard_record_v1__done.json", "data.shard_record", 1,
+             "v2 shard flushed and journaled done", done),
+            ("shard_record_v1__v1split_done.json", "data.shard_record", 1,
+             "single-shard (v1-stream) split record: no start/stop keys", v1_done),
+        ]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
+def heartbeat_vectors():
+    from repro.service import Heartbeat
+
+    tmp = tempfile.mkdtemp(prefix="vector-heartbeat-")
+    vectors = []
+    try:
+        getpid, gethostname = _identity_patches()
+        with getpid, gethostname:
+            clock = FakeClock()
+            hb = Heartbeat(tmp, f"fleet-0-r0-cafe@{FAKE_HOST}", clock=clock)
+            hb.beat("idle", force=True)
+            with open(hb.path) as fh:
+                idle = json.load(fh)
+            clock.now = T0 + 1.0
+            hb.tasks_done = 3
+            hb.beat("running", queue="/anywhere/queue/vectors",
+                    key="d1f3ec2ebdbe1e36", force=True)
+            with open(hb.path) as fh:
+                running = json.load(fh)
+            clock.now = T0 + 2.0
+            hb.close()
+            with open(hb.path) as fh:
+                exited = json.load(fh)
+        vectors = [
+            ("heartbeat_v1__idle.json", "service.heartbeat", 1,
+             "idle worker heartbeat", idle),
+            ("heartbeat_v1__running.json", "service.heartbeat", 1,
+             "running worker heartbeat (queue basename + task key)", running),
+            ("heartbeat_v1__exited.json", "service.heartbeat", 1,
+             "clean-shutdown heartbeat", exited),
+        ]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
+def supervisor_vectors():
+    from repro.service import FleetSupervisor
+
+    tmp = tempfile.mkdtemp(prefix="vector-supervisor-")
+    vectors = []
+    try:
+        getpid, gethostname = _identity_patches()
+        with getpid, gethostname:
+            sup = FleetSupervisor(tmp, workers=1, clock=FakeClock(T0 + 0.5))
+            sup.started_at = T0
+            sup.slots = [{
+                "name": "fleet-0",
+                "worker": f"fleet-0-r0-cafe@{FAKE_HOST}",
+                "proc": None,
+                "restarts": 0,
+                "spawned_at": T0,
+            }]
+            sup.write_state()
+            with open(sup.state_path) as fh:
+                running = json.load(fh)
+            sup.write_state(status="stopped")
+            with open(sup.state_path) as fh:
+                stopped = json.load(fh)
+        vectors = [
+            ("supervisor_state_v1__running.json", "service.supervisor_state", 1,
+             "published supervisor state with one (down) worker slot", running),
+            ("supervisor_state_v1__stopped.json", "service.supervisor_state", 1,
+             "final supervisor state after stop()", stopped),
+        ]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
+def build_status_scenario(cache_dir):
+    """A populated cache (queue + heartbeat + supervisor) for ``build_status``.
+
+    Deterministic by construction; the ``queue-status --json`` golden
+    test rebuilds exactly this scenario through the CLI.
+    """
+    from repro.experiments import RunRecord, TaskQueue, TrainConfig
+    from repro.service import FleetSupervisor, Heartbeat
+
+    clock = FakeClock()
+    getpid, gethostname = _identity_patches()
+    with getpid, gethostname:
+        configs = [TrainConfig(dtype="float32"), TrainConfig(dtype="float64")]
+        queue = TaskQueue.create(cache_dir, "vectors", clock=clock)
+        queue.enqueue(configs)
+        entry = queue.claim(WORKER)
+        clock.now = T0 + 2.0
+        queue.resolve(
+            entry["key"], WORKER,
+            RunRecord(key=entry["key"], config=configs[0], status="ok",
+                      seconds=2.5, train_acc=0.5, test_acc=0.25),
+        )
+        hb = Heartbeat(cache_dir, f"fleet-0-r0-cafe@{FAKE_HOST}", clock=clock)
+        hb.tasks_done = 1
+        hb.beat("idle", queue=queue.root, force=True)
+        sup = FleetSupervisor(cache_dir, workers=1, clock=FakeClock(T0 + 2.5))
+        sup.started_at = T0
+        sup.slots = [{
+            "name": "fleet-0",
+            "worker": f"fleet-0-r0-cafe@{FAKE_HOST}",
+            "proc": None,
+            "restarts": 0,
+            "spawned_at": T0,
+        }]
+        sup.write_state()
+
+
+def status_vectors():
+    from repro.service import build_status
+
+    vectors = []
+    tmp = tempfile.mkdtemp(prefix="vector-status-")
+    try:
+        empty_dir = os.path.join(tmp, "empty")
+        os.makedirs(empty_dir)
+        empty = build_status(empty_dir, clock=FakeClock(T0 + 3.0))
+        vectors.append((
+            "status_v1__empty.json", "service.status", 1,
+            "snapshot over an empty cache (paths normalized to /CACHE)",
+            normalize(empty, os.path.abspath(empty_dir)),
+        ))
+        full_dir = os.path.join(tmp, "full")
+        build_status_scenario(full_dir)
+        full = build_status(full_dir, clock=FakeClock(T0 + 3.0))
+        vectors.append((
+            "status_v1__populated.json", "service.status", 1,
+            "snapshot over a populated cache: one half-drained queue, one "
+            "alive heartbeat, one supervisor (paths normalized to /CACHE)",
+            normalize(full, os.path.abspath(full_dir)),
+        ))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
+def bench_vectors():
+    baseline_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "benchmarks", "baseline_step_cost.json",
+    )
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    smoke = {
+        "steps": 1,
+        "runs": [{
+            "method": "sgd",
+            "dtype": "float32",
+            "fused": True,
+            "arena": False,
+            "seconds_per_step": 0.02,
+            "steps_per_sec": 50.0,
+            "alloc_peak_bytes": 14591768,
+            "alloc_net_blocks": 652,
+            "alloc_net_bytes": 39128,
+        }],
+        "speedups": {"sgd": 1.5},
+    }
+    return [
+        ("step_cost_v1__baseline.json", "bench.step_cost", 1,
+         "the checked-in benchmarks/baseline_step_cost.json (the CI "
+         "bench-step-gate reads this format)", baseline),
+        ("step_cost_v1__smoke.json", "bench.step_cost", 1,
+         "minimal single-cell result as --json/--update-baseline writes it",
+         smoke),
+    ]
+
+
+def all_vectors():
+    vectors = []
+    vectors += journal_vectors()
+    vectors += shard_vectors()
+    vectors += heartbeat_vectors()
+    vectors += supervisor_vectors()
+    vectors += status_vectors()
+    vectors += bench_vectors()
+    return vectors
+
+
+# ----------------------------------------------------------------------
+# Vector file + manifest plumbing
+# ----------------------------------------------------------------------
+def render_vector(name, type_name, version, description, payload):
+    doc = {
+        "type": type_name,
+        "version": version,
+        "description": description,
+        "canonical_sha256": hashlib.sha256(canonical_bytes(payload)).hexdigest(),
+        "payload": payload,
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def write_vectors(out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    names = []
+    for name, type_name, version, description, payload in all_vectors():
+        with open(os.path.join(out_dir, name), "w") as fh:
+            fh.write(render_vector(name, type_name, version, description, payload))
+        names.append(name)
+    return names
+
+
+def build_manifest(out_dir):
+    """Hash manifest over the vectors dir + schema fingerprints.
+
+    Requires :mod:`repro.messages`; the manifest is what the CI
+    ``message-vectors`` gate diffs, so any schema change without a
+    matching vector regeneration fails loudly.
+    """
+    from repro.messages import registered_types, schema_fingerprint
+
+    files = {}
+    for name in sorted(os.listdir(out_dir)):
+        if not name.endswith(".json") or name == MANIFEST_NAME:
+            continue
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            files[name] = hashlib.sha256(fh.read()).hexdigest()
+    schemas = {
+        f"{cls.TYPE_NAME}@v{cls.VERSION}": schema_fingerprint(cls)
+        for cls in registered_types()
+    }
+    return {"manifest_version": 1, "schemas": schemas, "vectors": files}
+
+
+def write_manifest(out_dir):
+    manifest = build_manifest(out_dir)
+    with open(os.path.join(out_dir, MANIFEST_NAME), "w") as fh:
+        fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest
+
+
+def check(out_dir):
+    """Regenerate into a temp dir and diff against ``out_dir``; 0 iff clean."""
+    tmp = tempfile.mkdtemp(prefix="vector-check-")
+    failures = []
+    try:
+        write_vectors(tmp)
+        fresh = write_manifest(tmp)
+        try:
+            with open(os.path.join(out_dir, MANIFEST_NAME)) as fh:
+                checked_in = json.load(fh)
+        except FileNotFoundError:
+            failures.append(f"missing {MANIFEST_NAME} under {out_dir}")
+            checked_in = {}
+        for section in ("schemas", "vectors"):
+            have, want = checked_in.get(section, {}), fresh[section]
+            for key in sorted(set(have) | set(want)):
+                if have.get(key) != want.get(key):
+                    failures.append(
+                        f"{section}[{key}]: checked-in {have.get(key)} != "
+                        f"regenerated {want.get(key)}"
+                    )
+        for name in fresh["vectors"]:
+            path = os.path.join(out_dir, name)
+            if not os.path.exists(path):
+                failures.append(f"vector file missing: {name}")
+                continue
+            with open(path) as fh, open(os.path.join(tmp, name)) as fresh_fh:
+                if fh.read() != fresh_fh.read():
+                    failures.append(f"vector file drifted: {name}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    for failure in failures:
+        print(f"message-vectors: {failure}", file=sys.stderr)
+    if failures:
+        print(
+            "message-vectors: a repro.messages type changed without "
+            "regenerated vectors; run "
+            "`PYTHONPATH=src python tests/messages/capture_vectors.py --manifest`",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=VECTOR_DIR)
+    parser.add_argument("--manifest", action="store_true",
+                        help="also (re)write MANIFEST.json (needs repro.messages)")
+    parser.add_argument("--check", action="store_true",
+                        help="regenerate to a temp dir and fail on any drift")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.out)
+    names = write_vectors(args.out)
+    print(f"wrote {len(names)} vectors -> {args.out}")
+    if args.manifest:
+        manifest = write_manifest(args.out)
+        print(f"manifest: {len(manifest['vectors'])} vectors, "
+              f"{len(manifest['schemas'])} schemas")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

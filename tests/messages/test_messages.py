@@ -1,0 +1,280 @@
+"""Unit + property tests for the ``repro.messages`` kernel.
+
+The golden-vector suite (``test_vectors.py``) pins the concrete bytes;
+this file exercises the *rules*: strict unknown/missing-field
+rejection, typed wrong-type errors, version dispatch, upgrade-chain
+sanity — and, via hypothesis, that every arbitrary *valid* message
+survives ``dict -> message -> dict`` identically while every injected
+corruption is a typed rejection, for every registered type.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messages import (
+    FieldTypeError,
+    HeartbeatV1,
+    JournalEntryV1,
+    JournalEntryV2,
+    Message,
+    MessageError,
+    MissingFieldError,
+    RunRecordV1,
+    SchemaError,
+    ShardRecordV1,
+    UnknownFieldError,
+    UnknownTypeError,
+    UpgradeError,
+    VersionError,
+    latest,
+    parse,
+    registered_types,
+)
+from repro.messages.base import (
+    Check,
+    DictOf,
+    ListOf,
+    NestedMessage,
+    Nullable,
+    is_object,
+)
+
+RECORD = {
+    "key": "k",
+    "status": "ok",
+    "from_cache": False,
+    "seconds": 1.0,
+    "train_acc": 0.5,
+    "test_acc": None,
+    "error": None,
+    "pid": 1,
+}
+
+
+def entry_payload(**overrides):
+    payload = {
+        "version": 2,
+        "key": "k",
+        "config": {"dtype": "float32"},
+        "force": False,
+        "status": "pending",
+        "attempts": 0,
+        "worker": None,
+        "leased_at": None,
+        "lease_expires": None,
+        "enqueued_at": 0.0,
+        "started_at": None,
+        "finished_at": None,
+        "record": None,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestStrictness:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(UnknownFieldError) as err:
+            JournalEntryV2.from_dict(entry_payload(surprise=1))
+        assert "surprise" in str(err.value)
+
+    def test_missing_field_rejected(self):
+        payload = entry_payload()
+        del payload["attempts"]
+        with pytest.raises(MissingFieldError) as err:
+            JournalEntryV2.from_dict(payload)
+        assert "attempts" in str(err.value)
+
+    def test_wrong_type_rejected_with_field_path(self):
+        with pytest.raises(FieldTypeError) as err:
+            JournalEntryV2.from_dict(entry_payload(attempts="three"))
+        assert "attempts" in str(err.value)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(FieldTypeError):
+            JournalEntryV2.from_dict(entry_payload(attempts=True))
+
+    def test_enum_domain_enforced(self):
+        with pytest.raises(FieldTypeError):
+            JournalEntryV2.from_dict(entry_payload(status="paused"))
+        # quarantined exists in v2 but not in v1
+        JournalEntryV2.from_dict(entry_payload(status="quarantined", attempts=3))
+        with pytest.raises(FieldTypeError):
+            JournalEntryV1.from_dict(
+                entry_payload(version=1, status="quarantined", attempts=3)
+            )
+
+    def test_nested_message_validated_with_path(self):
+        bad = dict(RECORD, rogue=1)
+        with pytest.raises(UnknownFieldError):
+            JournalEntryV2.from_dict(
+                entry_payload(status="done", record=bad)
+            )
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(SchemaError):
+            JournalEntryV2.from_dict(None)
+        with pytest.raises(SchemaError):
+            parse("queue.journal_entry", "[]")
+
+    def test_construction_is_validated_too(self):
+        with pytest.raises(FieldTypeError):
+            HeartbeatV1(
+                worker="w", pid=1, host="h", state="sleeping", queue=None,
+                key=None, tasks_done=0, interval=2.0, started_at=0.0, beat_at=0.0,
+            )
+
+
+class TestOmitIfMissing:
+    def test_absent_optional_keys_parse_and_stay_absent(self):
+        payload = {
+            "shard": "test-00000",
+            "status": "done",
+            "updated_at": 1.0,
+            "pid": 1,
+            "split": "test",
+            "index": 0,
+        }
+        record = ShardRecordV1.from_dict(payload)
+        assert record.start is None and record.stop is None
+        assert record.to_dict() == payload  # no null keys invented
+
+    def test_present_optional_keys_round_trip(self):
+        payload = {
+            "shard": "train-00001",
+            "status": "writing",
+            "updated_at": 1.0,
+            "pid": 1,
+            "split": "train",
+            "index": 1,
+            "start": 8192,
+            "stop": 16384,
+        }
+        assert ShardRecordV1.from_dict(payload).to_dict() == payload
+
+
+class TestRegistry:
+    def test_unknown_type_name(self):
+        with pytest.raises(UnknownTypeError):
+            parse("queue.no_such_type", {})
+        with pytest.raises(UnknownTypeError):
+            latest("queue.no_such_type")
+
+    def test_version_dispatch_and_upgrade_walk(self):
+        v1 = entry_payload(version=1)
+        message = parse("queue.journal_entry", v1)
+        assert isinstance(message, JournalEntryV2)
+
+    def test_versionless_types_reject_a_version_key(self):
+        # run records carry no version envelope; a payload that grows
+        # one is from some other build and must not parse silently
+        with pytest.raises(UnknownFieldError):
+            parse("queue.run_record", dict(RECORD, version=1))
+
+    def test_default_upgrade_refuses(self):
+        with pytest.raises(UpgradeError):
+            RunRecordV1.from_dict(RECORD).upgrade()
+
+    def test_registered_types_are_ordered_and_versioned(self):
+        names = [(cls.TYPE_NAME, cls.VERSION) for cls in registered_types()]
+        assert names == sorted(names)
+        assert ("queue.journal_entry", 1) in names
+        assert ("queue.journal_entry", 2) in names
+
+
+# ----------------------------------------------------------------------
+# Property tests: valid -> identity, corrupted -> typed rejection
+# ----------------------------------------------------------------------
+def _strategy_for(check):
+    """A hypothesis strategy producing values the check accepts."""
+    if isinstance(check, Nullable):
+        return st.none() | _strategy_for(check.inner)
+    if isinstance(check, ListOf):
+        return st.lists(_strategy_for(check.item), max_size=3)
+    if isinstance(check, DictOf):
+        return st.dictionaries(
+            st.text(max_size=8), _strategy_for(check.value_check), max_size=3
+        )
+    if isinstance(check, NestedMessage):
+        return _payload_strategy(check.cls)
+    if check is is_object:
+        return st.dictionaries(st.text(max_size=8), st.integers(), max_size=3)
+    spec = check.describe()
+    if isinstance(spec, list) and spec[0] == "enum":
+        return st.sampled_from(spec[1])
+    return {
+        "str": st.text(max_size=16),
+        "bool": st.booleans(),
+        "int": st.integers(min_value=-(2**53), max_value=2**53),
+        "number": st.integers(min_value=-(2**53), max_value=2**53)
+        | st.floats(allow_nan=False, allow_infinity=False, width=32),
+    }[spec]
+
+
+@st.composite
+def _payload_strategy(draw, cls):
+    """An arbitrary *valid* wire payload for a message class."""
+    payload = {}
+    if cls.VERSION_FIELD is not None:
+        payload[cls.VERSION_FIELD] = cls.VERSION
+    for field in dataclasses.fields(cls):
+        value = draw(_strategy_for(cls.CHECKS[field.name]))
+        if field.name in cls.OMIT_IF_MISSING and value is None:
+            continue  # the wire form omits these rather than writing null
+        payload[field.name] = value
+    return payload
+
+
+class _Marker:
+    """A value no Check accepts (not str/bool/number/dict/list/None)."""
+
+    def __repr__(self):
+        return "<corrupt>"
+
+
+TYPES = registered_types()
+
+
+@pytest.mark.parametrize("cls", TYPES, ids=[f"{c.TYPE_NAME}@v{c.VERSION}" for c in TYPES])
+class TestMessageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_valid_payload_round_trips_identically(self, cls, data):
+        payload = data.draw(_payload_strategy(cls))
+        message = cls.from_dict(payload)
+        out = message.to_dict()
+        # identity includes key order: compare serialized bytes
+        assert json.dumps(out) == json.dumps(payload)
+        assert cls.from_dict(out) == message
+        assert isinstance(message, Message)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_corruption_is_a_typed_rejection(self, cls, data):
+        payload = data.draw(_payload_strategy(cls))
+        fields = [f.name for f in dataclasses.fields(cls)]
+        mode = data.draw(st.sampled_from(["unknown", "missing", "wrong-type"]))
+        if mode == "unknown":
+            payload["__rogue__"] = 1
+            expected = UnknownFieldError
+        elif mode == "missing":
+            required = [
+                name
+                for name in fields
+                if name in payload and name not in cls.OMIT_IF_MISSING
+            ]
+            payload.pop(data.draw(st.sampled_from(required)))
+            expected = MissingFieldError
+        else:
+            victims = [name for name in fields if name in payload]
+            payload[data.draw(st.sampled_from(victims))] = _Marker()
+            expected = FieldTypeError
+        with pytest.raises(expected):
+            cls.from_dict(payload)
+        # every rejection is also the shared typed base, so callers can
+        # catch one exception type at the boundary
+        with pytest.raises(MessageError):
+            cls.from_dict(payload)

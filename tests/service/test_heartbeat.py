@@ -61,13 +61,35 @@ class TestHeartbeat:
     def test_read_heartbeats_sorted_and_tolerant(self, tmp_run_cache):
         for name in ("b", "a", "c"):
             Heartbeat(tmp_run_cache, name, clock=FakeClock()).beat("idle")
-        # torn/foreign files are skipped, not fatal (lock-free readers
-        # must tolerate writers mid-flight)
+        # torn/foreign files are surfaced as `unreadable` placeholders,
+        # not fatal and not vanished (lock-free readers must tolerate
+        # writers mid-flight, but a file that exists proves a worker
+        # existed)
         with open(os.path.join(heartbeat_dir(tmp_run_cache), "torn.json"), "w") as fh:
             fh.write('{"version":')
         with open(os.path.join(heartbeat_dir(tmp_run_cache), "alien.json"), "w") as fh:
             json.dump({"version": HEARTBEAT_VERSION + 1}, fh)
-        assert [e["worker"] for e in read_heartbeats(tmp_run_cache)] == ["a", "b", "c"]
+        beats = read_heartbeats(tmp_run_cache)
+        assert [e["worker"] for e in beats] == ["a", "alien", "b", "c", "torn"]
+        by_worker = {e["worker"]: e for e in beats}
+        for name in ("alien", "torn"):
+            assert by_worker[name]["state"] == "unreadable"
+            assert by_worker[name]["beat_at"] is None
+        for name in ("a", "b", "c"):
+            assert by_worker[name]["state"] == "idle"
+
+    def test_unreadable_heartbeats_classify_stale(self, tmp_run_cache):
+        # A zero-byte file (torn write: created but never renamed over)
+        # and a truncated one must classify as `stale` — evidence of a
+        # worker, no proof of life — without crashing the patrol.
+        os.makedirs(heartbeat_dir(tmp_run_cache), exist_ok=True)
+        open(os.path.join(heartbeat_dir(tmp_run_cache), "zero.json"), "w").close()
+        with open(os.path.join(heartbeat_dir(tmp_run_cache), "trunc.json"), "w") as fh:
+            fh.write('{"version": 1, "worker": "trunc", "pid": 1')
+        beats = read_heartbeats(tmp_run_cache)
+        assert [e["worker"] for e in beats] == ["trunc", "zero"]
+        for entry in beats:
+            assert liveness(entry, 1000.0) == "stale"
 
     def test_read_heartbeats_empty_cache(self, tmp_run_cache):
         assert read_heartbeats(tmp_run_cache) == []
