@@ -17,6 +17,7 @@ Subpackages
 ``repro.hessian``     HVPs, eigenvalues, ||Hz|| metric
 ``repro.landscape``   loss-surface visualization
 ``repro.experiments`` harness regenerating every table and figure
+``repro.serving``     model artifacts + micro-batched inference server
 """
 
 from . import tensor, nn, models, data, optim, core, quant, hessian, landscape

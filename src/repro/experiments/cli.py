@@ -14,6 +14,10 @@ Usage::
     python -m repro.experiments queue-status --json -
     python -m repro.experiments datagen --datasets cifar10_like --train-size 50000
     python -m repro.experiments datagen --train-size 1000000 --max-resident-mb 256
+    python -m repro.experiments publish-artifact --paper-model ResNet20-fast \\
+        --weight-bits 8 --act-bits 8
+    python -m repro.experiments list-artifacts --json -
+    python -m repro.experiments serve-model --artifact 1a2b3c4d5e6f7a8b --workers 2
 
 Each artifact prints its rendered table/figure and the paper-shape
 check result; ``--json`` additionally dumps the raw numbers.  The
@@ -30,7 +34,13 @@ quarantines poison configs; ``sweep --scheduler queue --workers 0``
 submits a grid to such a fleet without spawning any processes of its
 own.  ``queue-status`` prints (or with ``--json`` dumps) the fleet's
 versioned health snapshot — built entirely from lock-free reads, safe
-to run while workers are live (see ``docs/fleet.md``).  The ``datagen`` verb pre-warms the on-disk
+to run while workers are live (see ``docs/fleet.md``).  The serving
+verbs (see ``docs/serving.md``) turn trained runs into durable
+deployables: ``publish-artifact`` trains (or reuses) one configuration,
+optionally folds BN and applies weight/activation PTQ, and publishes
+the result into the content-addressed artifact store;
+``list-artifacts`` enumerates it; ``serve-model`` runs the
+micro-batched inference server over a published artifact.  The ``datagen`` verb pre-warms the on-disk
 dataset cache that sweep workers memory-map — multi-shard datasets
 stream straight into the staged entry (resumable after an interrupt,
 ~one shard resident per writer; see ``docs/data-pipeline.md`` and
@@ -134,12 +144,24 @@ def build_parser():
     parser.add_argument(
         "artifact",
         choices=sorted(ARTIFACTS)
-        + ["all", "sweep", "worker", "serve", "queue-status", "datagen"],
+        + [
+            "all",
+            "sweep",
+            "worker",
+            "serve",
+            "queue-status",
+            "datagen",
+            "publish-artifact",
+            "list-artifacts",
+            "serve-model",
+        ],
         help="which paper artifact to regenerate, 'sweep' to run a grid "
         "directly, 'worker' to join a sweep queue as a work-stealing "
         "worker, 'serve' to run the long-lived fleet supervisor, "
-        "'queue-status' to print the fleet health snapshot, or "
-        "'datagen' to pre-warm the dataset cache",
+        "'queue-status' to print the fleet health snapshot, "
+        "'datagen' to pre-warm the dataset cache, 'publish-artifact' / "
+        "'list-artifacts' to manage the model-artifact store, or "
+        "'serve-model' to run the micro-batched inference server",
     )
     parser.add_argument(
         "--profile",
@@ -260,6 +282,67 @@ def build_parser():
         type=float,
         default=None,
         help="serve: hard wall-clock bound on the supervisor",
+    )
+    serving_group = parser.add_argument_group(
+        "model serving (publish-artifact/list-artifacts/serve-model verbs)"
+    )
+    serving_group.add_argument(
+        "--paper-model",
+        default="ResNet20-fast",
+        help="publish-artifact: paper model name to train/reuse "
+        "(default: ResNet20-fast)",
+    )
+    serving_group.add_argument(
+        "--dataset",
+        default="cifar10_like",
+        help="publish-artifact: dataset profile (default: cifar10_like)",
+    )
+    serving_group.add_argument(
+        "--method",
+        default="hero",
+        help="publish-artifact: training method (default: hero)",
+    )
+    serving_group.add_argument(
+        "--weight-bits",
+        type=int,
+        default=None,
+        help="publish-artifact: uniform weight PTQ bit width (default: none)",
+    )
+    serving_group.add_argument(
+        "--act-bits",
+        type=int,
+        default=None,
+        help="publish-artifact: calibrated activation PTQ bit width "
+        "(requires --weight-bits; default: none)",
+    )
+    serving_group.add_argument(
+        "--bn-fold",
+        action="store_true",
+        help="publish-artifact: fold BatchNorm into convolutions first",
+    )
+    serving_group.add_argument(
+        "--artifact",
+        dest="artifact_key",
+        default=None,
+        help="serve-model: artifact key to serve (see list-artifacts)",
+    )
+    serving_group.add_argument(
+        "--server-name",
+        default=None,
+        help="serve-model: server directory name (default: srv-<key prefix>)",
+    )
+    serving_group.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="serve-model: micro-batch size ceiling (default: 8)",
+    )
+    serving_group.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=10.0,
+        help="serve-model: latency budget before a partial batch flushes "
+        "(default: 10ms)",
     )
     datagen_group = parser.add_argument_group("dataset generation (datagen/sweep verbs)")
     datagen_group.add_argument(
@@ -468,6 +551,174 @@ def run_queue_status_command(args, out=sys.stdout):
     return 0
 
 
+def _quant_summary(manifest):
+    """One-line PTQ description of an artifact manifest."""
+    parts = []
+    if manifest.bn_folded:
+        parts.append("bn-folded")
+    wq = manifest.weight_quant
+    if wq is not None:
+        if wq.mode == "uniform":
+            parts.append(f"w{wq.bits}")
+        else:
+            bits = sorted(set(wq.assignment.values()))
+            parts.append("w-mixed[" + ",".join(str(b) for b in bits) + "]")
+    if manifest.activation_quant is not None:
+        parts.append(f"a{manifest.activation_quant.bits}")
+    return "+".join(parts) if parts else "float"
+
+
+def run_publish_artifact_command(args, out=sys.stdout):
+    """The ``publish-artifact`` verb: train (or reuse) a run, publish it.
+
+    Builds the configuration from the serving flags, trains it through
+    the cached runner (a warm cache makes this instant), optionally
+    folds BatchNorm and applies uniform weight PTQ — with calibrated
+    activation PTQ when ``--act-bits`` is also given — then publishes
+    the result into the content-addressed artifact store and prints the
+    key ``serve-model`` needs.
+    """
+    from ..data import DataLoader
+    from ..quant import QuantScheme, fold_batchnorms, quantize_model
+    from ..quant import quantize_weights_and_activations
+    from ..serving import model_spec, publish_artifact, uniform_weight_quant
+    from .config import make_config
+    from .runner import load_experiment_data, run_training
+
+    if args.act_bits is not None and args.weight_bits is None:
+        raise SystemExit("--act-bits requires --weight-bits")
+    config = make_config(
+        args.paper_model, args.dataset, args.method, profile=args.profile, seed=args.seed
+    )
+    print(
+        f"training {args.paper_model} / {args.dataset} / {args.method} "
+        f"({args.profile} profile)...",
+        file=out,
+    )
+    result = run_training(config, force=args.no_cache)
+    train, _test, spec = load_experiment_data(config)
+    model = result.model
+    if args.bn_fold:
+        model, folded = fold_batchnorms(model)
+        model.eval()
+        print(f"folded {folded} conv+BN pair(s)", file=out)
+    weight_quant = None
+    if args.weight_bits is not None and args.act_bits is not None:
+        loader = DataLoader(train, batch_size=config.batch_size, shuffle=False, seed=0)
+        calibration = [next(iter(loader))]
+        model = quantize_weights_and_activations(
+            model, weight_bits=args.weight_bits, act_bits=args.act_bits,
+            batches=calibration,
+        )
+        weight_quant = uniform_weight_quant(args.weight_bits)
+    elif args.weight_bits is not None:
+        model, _report = quantize_model(model, QuantScheme(bits=args.weight_bits))
+        weight_quant = uniform_weight_quant(args.weight_bits)
+    manifest = publish_artifact(
+        model,
+        model_spec(
+            config.model,
+            spec.num_classes,
+            spec.channels,
+            config.model_scale,
+            spec.image_size,
+        ),
+        source=f"run:{config.cache_key()}",
+        weight_quant=weight_quant,
+        bn_folded=args.bn_fold,
+    )
+    print(
+        f"published {manifest.key}: {manifest.model.name} "
+        f"x{manifest.model.scale:g} ({_quant_summary(manifest)}, "
+        f"{manifest.params} params, {manifest.dtype})",
+        file=out,
+    )
+    print(f"serve it:  python -m repro.experiments serve-model "
+          f"--artifact {manifest.key}", file=out)
+    if args.json:
+        save_json(manifest.to_dict(), args.json)
+        print(f"manifest -> {args.json}", file=out)
+    return 0
+
+
+def run_list_artifacts_command(args, out=sys.stdout):
+    """The ``list-artifacts`` verb: enumerate the artifact store."""
+    from ..serving import artifact_cache, list_artifacts
+
+    manifests = list_artifacts()
+    if not manifests:
+        print(
+            f"no artifacts under {artifact_cache().root}; publish one with "
+            "'publish-artifact'",
+            file=out,
+        )
+        return 0
+    print(f"{'key':16s}  {'model':20s}  {'quant':16s}  {'params':>9s}  dtype", file=out)
+    for manifest in manifests:
+        model = f"{manifest.model.name} x{manifest.model.scale:g}"
+        print(
+            f"{manifest.key:16s}  {model:20s}  {_quant_summary(manifest):16s}  "
+            f"{manifest.params:9d}  {manifest.dtype}",
+            file=out,
+        )
+    if args.json:
+        save_json([manifest.to_dict() for manifest in manifests], args.json)
+        if args.json != "-":
+            print(f"manifests -> {args.json}", file=out)
+    return 0
+
+
+def run_serve_model_command(args, out=sys.stdout):
+    """The ``serve-model`` verb: run the micro-batched inference server.
+
+    Starts the batcher plus ``--workers`` model workers over a server
+    directory any client (or machine sharing the cache) can drop
+    requests into; serves until interrupted or ``--max-seconds``
+    elapses, then prints the final stats snapshot.
+    """
+    from ..serving import InferenceServer
+
+    if not args.artifact_key:
+        raise SystemExit("serve-model requires --artifact KEY (see list-artifacts)")
+    try:
+        server = InferenceServer(
+            args.artifact_key,
+            name=args.server_name,
+            workers=args.workers if args.workers is not None else 2,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1000.0,
+            lease_timeout=args.lease_timeout
+            if args.lease_timeout is not None
+            else 5.0,
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"serving {args.artifact_key} at {server.root} "
+        f"(workers={server.workers}, max_batch={server.max_batch}, "
+        f"max_delay={server.max_delay * 1000:g}ms)",
+        file=out,
+    )
+    deadline = (
+        time.monotonic() + args.max_seconds if args.max_seconds is not None else None
+    )
+    with server:
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.05)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+    stats = server.write_stats()
+    print(
+        f"served {stats.served_total} request(s) in {stats.batches_total} "
+        f"batch(es); re-served {stats.re_served_total}",
+        file=out,
+    )
+    if args.json:
+        save_json(stats.to_dict(), args.json)
+    return 0
+
+
 def _datagen_eager_splits(spec, shard_size, hit):
     """Shard accounting for the eager writer (all-or-nothing per entry)."""
     from ..data import plan_shards
@@ -613,6 +864,12 @@ def main(argv=None):
         return run_queue_status_command(args)
     if args.artifact == "datagen":
         return run_datagen_command(args)
+    if args.artifact == "publish-artifact":
+        return run_publish_artifact_command(args)
+    if args.artifact == "list-artifacts":
+        return run_list_artifacts_command(args)
+    if args.artifact == "serve-model":
+        return run_serve_model_command(args)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     total_violations = 0
     for name in names:

@@ -40,6 +40,14 @@ from .base import (
 )
 from .bench import StepCostResultV1, StepCostRunV1
 from .queue import JournalEntryV1, JournalEntryV2, RunRecordV1
+from .serving import (
+    ActivationQuantV1,
+    ArtifactManifestV1,
+    ArtifactModelV1,
+    BatchRecordV1,
+    ServerStatsV1,
+    WeightQuantV1,
+)
 from .service import (
     HeartbeatV1,
     QueueStatusV1,
@@ -52,6 +60,10 @@ from .service import (
 from .shards import ShardRecordV1
 
 __all__ = [
+    "ActivationQuantV1",
+    "ArtifactManifestV1",
+    "ArtifactModelV1",
+    "BatchRecordV1",
     "Check",
     "FieldTypeError",
     "HeartbeatV1",
@@ -63,6 +75,7 @@ __all__ = [
     "QueueStatusV1",
     "RunRecordV1",
     "SchemaError",
+    "ServerStatsV1",
     "ShardRecordV1",
     "StatusSnapshotV1",
     "StatusWorkerV1",
@@ -75,6 +88,7 @@ __all__ = [
     "UnknownTypeError",
     "UpgradeError",
     "VersionError",
+    "WeightQuantV1",
     "dict_of",
     "enum",
     "is_bool",

@@ -1,0 +1,229 @@
+"""Serving record types: artifact manifests, batch journal, server stats.
+
+Producers/consumers live in ``repro.serving`` — ``artifact.py`` writes
+``manifest.json`` next to ``weights.npz`` inside each content-addressed
+artifact directory, and ``server.py`` writes the batch journal plus the
+atomically-rewritten ``stats.json`` snapshot.  Like the queue module,
+this one deliberately does not import ``repro.serving`` (serving
+imports *us*).
+"""
+
+from dataclasses import dataclass
+
+from .base import (
+    Message,
+    dict_of,
+    enum,
+    is_bool,
+    is_int,
+    is_number,
+    is_str,
+    list_of,
+    nested,
+    nullable,
+    register,
+)
+
+
+@dataclass
+class ArtifactModelV1(Message):
+    """The architecture section of a manifest (embedded only).
+
+    Exactly the ``create_model`` arguments needed to rebuild the module
+    tree before ``load_state_dict`` restores the published weights.
+    """
+
+    TYPE_NAME = "serving.artifact_model"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "name": is_str,
+        "num_classes": is_int,
+        "in_channels": is_int,
+        "scale": is_number,
+        "image_size": nullable(is_int),
+    }
+
+    name: str
+    num_classes: int
+    in_channels: int
+    scale: float
+    image_size: object
+
+
+@dataclass
+class WeightQuantV1(Message):
+    """The weight-quantization section of a manifest (embedded only).
+
+    ``uniform`` carries one ``bits`` value for every layer; ``mixed``
+    carries the per-layer ``assignment`` instead (``bits`` is null).
+    Weights are stored post-quantization, so this section is
+    provenance, not a transform to re-apply on load.
+    """
+
+    TYPE_NAME = "serving.weight_quant"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "mode": enum("uniform", "mixed"),
+        "bits": nullable(is_int),
+        "symmetric": is_bool,
+        "per_channel": is_bool,
+        "assignment": nullable(dict_of(is_int)),
+    }
+
+    mode: str
+    bits: object
+    symmetric: bool
+    per_channel: bool
+    assignment: object
+
+
+@dataclass
+class ActivationQuantV1(Message):
+    """The activation-quantization section of a manifest (embedded only).
+
+    ``lows``/``highs`` are the frozen calibration ranges, one per
+    quantizer in the deterministic ``insert_activation_quantizers``
+    wrap order — the loader re-wraps a rebuilt model and restores them
+    verbatim, so no calibration data is needed at serve time.
+    """
+
+    TYPE_NAME = "serving.activation_quant"
+    VERSION = 1
+    VERSION_FIELD = None
+    CHECKS = {
+        "bits": is_int,
+        "symmetric": is_bool,
+        "lows": list_of(is_number),
+        "highs": list_of(is_number),
+    }
+
+    bits: int
+    symmetric: bool
+    lows: list
+    highs: list
+
+
+@register
+@dataclass
+class ArtifactManifestV1(Message):
+    """``manifest.json`` inside a content-addressed model artifact.
+
+    ``key`` is the content hash (architecture + transforms + weight
+    bytes), so re-publishing identical content is a cache hit; the
+    manifest is also the loader's recipe: rebuild ``model``, fold BN if
+    ``bn_folded``, load ``weights.npz``, re-wrap activations.
+    """
+
+    TYPE_NAME = "serving.artifact_manifest"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "key": is_str,
+        "created_at": is_number,
+        "source": nullable(is_str),
+        "model": nested(ArtifactModelV1),
+        "dtype": is_str,
+        "bn_folded": is_bool,
+        "weight_quant": nullable(nested(WeightQuantV1)),
+        "activation_quant": nullable(nested(ActivationQuantV1)),
+        "params": is_int,
+        "weights_sha256": is_str,
+    }
+
+    key: str
+    created_at: float
+    source: object
+    model: object
+    dtype: str
+    bn_folded: bool
+    weight_quant: object
+    activation_quant: object
+    params: int
+    weights_sha256: str
+
+
+@register
+@dataclass
+class BatchRecordV1(Message):
+    """One micro-batch's lifecycle record in the serving batch journal.
+
+    Same lease discipline as ``queue.journal_entry``: claim moves
+    ``pending`` → ``leased`` with an expiry, a SIGKILLed worker's batch
+    becomes claimable again once the lease lapses, and ``resolve`` only
+    lands if the worker still holds the lease.
+    """
+
+    TYPE_NAME = "serving.batch_record"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "key": is_str,
+        "status": enum("pending", "leased", "done", "error"),
+        "requests": list_of(is_str),
+        "attempts": is_int,
+        "worker": nullable(is_str),
+        "leased_at": nullable(is_number),
+        "lease_expires": nullable(is_number),
+        "created_at": is_number,
+        "finished_at": nullable(is_number),
+        "error": nullable(is_str),
+    }
+
+    key: str
+    status: str
+    requests: list
+    attempts: int
+    worker: object
+    leased_at: object
+    lease_expires: object
+    created_at: float
+    finished_at: object
+    error: object
+
+
+@register
+@dataclass
+class ServerStatsV1(Message):
+    """The server's ``stats.json`` snapshot, rewritten atomically.
+
+    ``re_served_total`` counts lease-expiry re-serves (attempts beyond
+    the first on done batches) — the externally visible cost of the
+    failure model.  ``queue_depth`` is admitted-but-unflushed requests.
+    """
+
+    TYPE_NAME = "serving.server_stats"
+    VERSION = 1
+    VERSION_FIELD = "version"
+    CHECKS = {
+        "server": is_str,
+        "artifact": is_str,
+        "pid": is_int,
+        "host": is_str,
+        "started_at": is_number,
+        "updated_at": is_number,
+        "workers": is_int,
+        "max_batch": is_int,
+        "max_delay_ms": is_number,
+        "requests_total": is_int,
+        "batches_total": is_int,
+        "served_total": is_int,
+        "re_served_total": is_int,
+        "queue_depth": is_int,
+    }
+
+    server: str
+    artifact: str
+    pid: int
+    host: str
+    started_at: float
+    updated_at: float
+    workers: int
+    max_batch: int
+    max_delay_ms: float
+    requests_total: int
+    batches_total: int
+    served_total: int
+    re_served_total: int
+    queue_depth: int

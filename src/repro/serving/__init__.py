@@ -1,0 +1,61 @@
+"""Quantized inference serving: durable model artifacts + a micro-batched server.
+
+Two layers (see ``docs/serving.md``):
+
+* :mod:`repro.serving.artifact` — content-addressed model artifacts
+  (weights + BN-fold state + quant scheme + precision policy + frozen
+  activation ranges) in a :class:`~repro.io.DirectoryCache`, rebuilt
+  bit-identically by ``ServingArtifact.build_model()``;
+* :mod:`repro.serving.server` — the filesystem-coordinated serving
+  harness: admission queue, latency-budget micro-batcher, lease-based
+  multi-worker dispatch (SIGKILL-safe re-serving), heartbeat liveness
+  and a validated ``stats.json`` snapshot.
+"""
+
+from .artifact import (
+    ARTIFACT_FILES,
+    ServingArtifact,
+    artifact_cache,
+    list_artifacts,
+    load_artifact,
+    mixed_weight_quant,
+    model_spec,
+    publish_artifact,
+    uniform_weight_quant,
+)
+from .server import (
+    BatchJournal,
+    InferenceServer,
+    MicroBatcher,
+    RequestStore,
+    ServingClient,
+    ServingError,
+    read_stats,
+    serve_batch,
+    server_root,
+    worker_identity,
+    worker_loop,
+)
+
+__all__ = [
+    "ARTIFACT_FILES",
+    "BatchJournal",
+    "InferenceServer",
+    "MicroBatcher",
+    "RequestStore",
+    "ServingArtifact",
+    "ServingClient",
+    "ServingError",
+    "artifact_cache",
+    "list_artifacts",
+    "load_artifact",
+    "mixed_weight_quant",
+    "model_spec",
+    "publish_artifact",
+    "read_stats",
+    "serve_batch",
+    "server_root",
+    "uniform_weight_quant",
+    "worker_identity",
+    "worker_loop",
+]

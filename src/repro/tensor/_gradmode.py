@@ -1,26 +1,38 @@
-"""Global gradient-mode switch for the autograd engine.
+"""Gradient-mode switch for the autograd engine (thread-local).
 
 The engine builds a computation graph only while grad mode is enabled
 (the default).  ``no_grad`` disables graph construction, which is used
 both by user code (evaluation loops, optimizer updates) and internally
 by ``Tensor.backward`` when ``create_graph=False``.
+
+The mode is **per thread**: concurrent inference threads (the serving
+layer's workers) each toggle their own flag, so interleaved
+``no_grad`` blocks cannot restore another thread's stale "previous"
+value and strand the whole process in no-grad mode.  Every new thread
+starts with grad enabled.
 """
 
+import threading
 from contextlib import contextmanager
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    def __init__(self):
+        self.enabled = True
+
+
+_MODE = _GradMode()
 
 
 def is_grad_enabled():
     """Return ``True`` when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    return _MODE.enabled
 
 
 def set_grad_enabled(mode):
-    """Set grad mode to ``mode`` and return the previous mode."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = bool(mode)
+    """Set this thread's grad mode to ``mode``; return the previous mode."""
+    previous = _MODE.enabled
+    _MODE.enabled = bool(mode)
     return previous
 
 

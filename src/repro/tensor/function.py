@@ -74,7 +74,7 @@ class Function:
             # and explicit-float64 graphs stay float64 under a float32
             # policy).
             out_data = out_data.astype(np.result_type(*(t.data for t in tensors)), copy=False)
-        needs_graph = _gradmode._GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        needs_graph = _gradmode._MODE.enabled and any(t.requires_grad for t in tensors)
         out = T.__new__(T)
         out.data = out_data
         out.requires_grad = needs_graph

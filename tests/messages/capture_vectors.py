@@ -405,6 +405,104 @@ def bench_vectors():
     ]
 
 
+def serving_vectors():
+    """Artifact manifests, batch records and server stats from the real
+    serving producers (seeded weights, injected clock, patched identity)."""
+    import numpy as np
+
+    from repro.models import create_model
+    from repro.quant import quantize_weights_and_activations
+    from repro.serving import (
+        BatchJournal,
+        InferenceServer,
+        model_spec,
+        publish_artifact,
+        uniform_weight_quant,
+    )
+
+    tmp = tempfile.mkdtemp(prefix="vector-serving-")
+    vectors = []
+    try:
+        getpid, gethostname = _identity_patches()
+        with getpid, gethostname:
+            clock = FakeClock()
+            model = create_model("mlp", num_classes=3, in_channels=4, scale=0.25, seed=11)
+            model.eval()
+            spec = model_spec("mlp", num_classes=3, in_channels=4, scale=0.25)
+            plain = publish_artifact(
+                model, spec, cache_dir=tmp, source="run:vector", clock=clock
+            )
+            calibration = np.arange(32, dtype=np.float32).reshape(8, 4) / 10.0 - 1.5
+            deployed = quantize_weights_and_activations(
+                model, weight_bits=8, act_bits=8, batches=[(calibration, None)]
+            )
+            deployed.eval()
+            clock.now = T0 + 1.0
+            quantized = publish_artifact(
+                deployed, spec, cache_dir=tmp, source="run:vector",
+                weight_quant=uniform_weight_quant(8), clock=clock,
+            )
+            vectors += [
+                ("artifact_manifest_v1__float32.json", "serving.artifact_manifest", 1,
+                 "published float32 artifact (no quant provenance)", plain.to_dict()),
+                ("artifact_manifest_v1__w8a8.json", "serving.artifact_manifest", 1,
+                 "published w8/a8 PTQ artifact with frozen activation ranges",
+                 quantized.to_dict()),
+            ]
+
+            # One batch journal exercising every lifecycle state.
+            root = os.path.join(tmp, "serving", "vector-batches")
+            journal = BatchJournal(root, lease_timeout=5.0, clock=clock)
+            for index, requests in enumerate(
+                (["req-0000", "req-0001"], ["req-0002"], ["req-0003"], ["req-0004"])
+            ):
+                journal.enqueue(f"batch-{index:08d}", requests)
+            journal.claim(WORKER)
+            clock.now = T0 + 2.0
+            journal.resolve("batch-00000000", WORKER)
+            journal.claim(WORKER)
+            clock.now = T0 + 3.0
+            journal.resolve("batch-00000001", WORKER, error="RuntimeError: poison input")
+            journal.claim(WORKER)  # batch-00000002 stays leased; -3 stays pending
+            by_status = {
+                record["status"]: record
+                for record in journal.journal.snapshot().values()
+            }
+            for status in ("pending", "leased", "done", "error"):
+                vectors.append((
+                    f"batch_record_v1__{status}.json", "serving.batch_record", 1,
+                    f"live {status} batch record from a real BatchJournal "
+                    "lifecycle under an injected clock", by_status[status],
+                ))
+
+            # Server stats: fresh server, then after a served batch.
+            clock.now = T0 + 4.0
+            server = InferenceServer(
+                plain.key, cache_dir=tmp, name="vector-server",
+                workers=2, max_batch=4, max_delay=0.01, clock=clock,
+            )
+            server.started_at = T0 + 4.0
+            fresh = server.write_stats().to_dict()
+            store = server.batcher.store
+            for index in range(3):
+                store.submit(calibration[:1], f"req-{index:04d}")
+            clock.now = T0 + 5.0
+            server.batcher.poll(force=True)
+            record = server.journal.claim(WORKER)
+            clock.now = T0 + 6.0
+            server.journal.resolve(record["key"], WORKER)
+            busy = server.write_stats().to_dict()
+            vectors += [
+                ("server_stats_v1__fresh.json", "serving.server_stats", 1,
+                 "stats snapshot of a just-started server (nothing admitted)", fresh),
+                ("server_stats_v1__served.json", "serving.server_stats", 1,
+                 "stats snapshot after one 3-request batch was served", busy),
+            ]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return vectors
+
+
 def all_vectors():
     vectors = []
     vectors += journal_vectors()
@@ -413,6 +511,7 @@ def all_vectors():
     vectors += supervisor_vectors()
     vectors += status_vectors()
     vectors += bench_vectors()
+    vectors += serving_vectors()
     return vectors
 
 

@@ -1,0 +1,209 @@
+"""Micro-batcher properties: exactly-once, size ceiling, deadline.
+
+Hypothesis drives randomized arrival schedules through the real
+``RequestStore`` + ``BatchJournal`` + ``MicroBatcher`` stack under a
+manually advanced clock, and checks the three contracts the serving
+layer sells:
+
+* **exactly-once**: every submitted request lands in exactly one batch
+  record — never dropped, never duplicated (including across a batcher
+  restart, which replays the journal);
+* **size**: no batch exceeds ``max_batch``;
+* **deadline**: after any non-forced flush, no still-pending request
+  has waited longer than ``max_delay`` — the oldest request's latency
+  budget triggers a partial batch rather than unbounded waiting.
+
+The last test closes the loop to the model: draining the emitted
+batches through ``worker_loop`` serves outputs bit-identical to an
+offline forward of the same quantized deployment.
+"""
+
+import collections
+import shutil
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import BatchJournal, MicroBatcher, RequestStore
+from repro.serving.server import DONE, PENDING
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+#: A randomized arrival schedule: positive inter-arrival gaps (seconds).
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=0.03, allow_nan=False), min_size=1, max_size=24
+)
+
+
+def run_schedule(root, gap_list, max_batch, max_delay, restart_after=None):
+    """Feed the schedule through a batcher; return (journal, submitted ids).
+
+    ``restart_after`` rebuilds the batcher from the journal midway —
+    the crashed-batcher recovery path — which must not double-admit.
+    """
+    clock = FakeClock()
+    store = RequestStore(root, clock=clock)
+    journal = BatchJournal(root, clock=clock)
+    batcher = MicroBatcher(root, journal, max_batch=max_batch, max_delay=max_delay, clock=clock)
+    submitted = []
+    for index, gap in enumerate(gap_list):
+        clock.now += gap
+        submitted.append(store.submit(np.zeros(2, dtype=np.float32), f"req-{index:04d}"))
+        batcher.poll()
+        # Deadline contract: nothing still pending is past its budget.
+        assert all(clock.now - at < max_delay for at in batcher.pending.values())
+        if restart_after is not None and index == restart_after:
+            batcher = MicroBatcher(
+                root, journal, max_batch=max_batch, max_delay=max_delay, clock=clock
+            )
+    # Quiesce: advance past the budget (epsilon absorbs float rounding
+    # of clock.now + gap sums) so the deadline ships the tail.  A
+    # restarted batcher re-admits unbatched requests with a fresh
+    # admission time, so the tail may need one more budget window.
+    for _ in range(2):
+        clock.now += max_delay + 1e-6
+        batcher.poll()
+        if not batcher.pending:
+            break
+    assert not batcher.pending
+    return journal, submitted
+
+
+@given(gap_list=gaps, max_batch=st.integers(1, 6), max_delay=st.floats(0.005, 0.05))
+@settings(max_examples=40, deadline=None)
+def test_exactly_once_and_size_ceiling(gap_list, max_batch, max_delay):
+    root = tempfile.mkdtemp(prefix="batcher-prop-")
+    try:
+        journal, submitted = run_schedule(root, gap_list, max_batch, max_delay)
+        batched = collections.Counter()
+        for record in journal.snapshot().values():
+            assert record.status == PENDING
+            assert 1 <= len(record.requests) <= max_batch
+            batched.update(record.requests)
+        assert set(batched) == set(submitted)
+        assert all(count == 1 for count in batched.values())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(
+    gap_list=gaps,
+    max_batch=st.integers(1, 6),
+    restart_at=st.integers(0, 23),
+)
+@settings(max_examples=40, deadline=None)
+def test_restart_replays_journal_without_double_admitting(gap_list, max_batch, restart_at):
+    root = tempfile.mkdtemp(prefix="batcher-restart-")
+    try:
+        journal, submitted = run_schedule(
+            root, gap_list, max_batch, 0.02, restart_after=min(restart_at, len(gap_list) - 1)
+        )
+        batched = collections.Counter()
+        keys = []
+        for key, record in journal.snapshot().items():
+            keys.append(key)
+            batched.update(record.requests)
+        assert set(batched) == set(submitted)
+        assert all(count == 1 for count in batched.values())
+        # The restarted batcher resumed the sequence: keys stay unique
+        # and dense from batch-00000000.
+        assert sorted(keys) == [f"batch-{i:08d}" for i in range(len(keys))]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_deadline_ships_a_partial_batch(tmp_path):
+    """One lonely request is served after max_delay, not never."""
+    clock = FakeClock()
+    root = str(tmp_path)
+    store = RequestStore(root, clock=clock)
+    journal = BatchJournal(root, clock=clock)
+    batcher = MicroBatcher(root, journal, max_batch=8, max_delay=0.01, clock=clock)
+    store.submit(np.zeros(2, dtype=np.float32), "lonely")
+    assert batcher.poll() == []  # admitted, but within budget — held
+    clock.now += 0.0099
+    assert batcher.flush() == []  # still within budget
+    clock.now += 0.0002
+    (key,) = batcher.flush()  # budget spent: ship it alone
+    assert journal.journal.read(key)["requests"] == ["lonely"]
+
+
+def test_size_flush_preempts_the_deadline(tmp_path):
+    """max_batch requests flush immediately, before any budget elapses."""
+    clock = FakeClock()
+    root = str(tmp_path)
+    store = RequestStore(root, clock=clock)
+    journal = BatchJournal(root, clock=clock)
+    batcher = MicroBatcher(root, journal, max_batch=4, max_delay=10.0, clock=clock)
+    for index in range(9):
+        store.submit(np.zeros(2, dtype=np.float32), f"req-{index}")
+    keys = batcher.poll()
+    assert len(keys) == 2  # two full batches; the 9th waits for its budget
+    assert len(batcher.pending) == 1
+
+
+def test_emit_orders_by_admission_time_then_id(tmp_path):
+    clock = FakeClock()
+    root = str(tmp_path)
+    store = RequestStore(root, clock=clock)
+    journal = BatchJournal(root, clock=clock)
+    batcher = MicroBatcher(root, journal, max_batch=2, max_delay=0.01, clock=clock)
+    for request_id in ("zz", "aa", "mm"):
+        store.submit(np.zeros(1, dtype=np.float32), request_id)
+    batcher.admit()
+    clock.now += 0.02
+    keys = batcher.flush()
+    first = journal.journal.read(keys[0])["requests"]
+    assert first == ["aa", "mm"]  # same admission tick -> id order breaks the tie
+
+
+@given(gap_list=gaps)
+@settings(max_examples=15, deadline=None)
+def test_served_outputs_bit_identical_to_offline_quantized_forward(gap_list):
+    """End of the pipeline: drain the emitted batches through a real
+    worker and compare every response to the offline PTQ forward."""
+    from repro.models import create_model
+    from repro.quant import quantize_weights_and_activations
+    from repro.serving import worker_loop
+    from repro.tensor import Tensor, no_grad
+
+    rng = np.random.default_rng(1234)
+    model = create_model("mlp", num_classes=3, in_channels=6, scale=0.25, seed=5)
+    model.eval()
+    deployed = quantize_weights_and_activations(
+        model, weight_bits=8, act_bits=8,
+        batches=[(rng.standard_normal((8, 6)).astype(np.float32), None)],
+    )
+    root = tempfile.mkdtemp(prefix="batcher-serve-")
+    try:
+        clock = FakeClock()
+        store = RequestStore(root, clock=clock)
+        journal = BatchJournal(root, clock=clock)
+        batcher = MicroBatcher(root, journal, max_batch=4, max_delay=0.01, clock=clock)
+        xs = {}
+        for index, gap in enumerate(gap_list):
+            clock.now += gap
+            x = rng.standard_normal((1, 6)).astype(np.float32)
+            request_id = store.submit(x, f"req-{index:04d}")
+            xs[request_id] = x
+            batcher.poll()
+        clock.now += 0.01
+        batcher.poll()
+        served = worker_loop(root, deployed, drain=True, clock=clock)
+        assert served == len(journal.snapshot())
+        assert all(r.status == DONE for r in journal.snapshot().values())
+        with no_grad():
+            for request_id, x in xs.items():
+                reference = deployed(Tensor(x)).data
+                assert np.array_equal(store.try_response(request_id), reference)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

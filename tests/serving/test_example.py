@@ -1,0 +1,32 @@
+"""Smoke-run the edge-deployment example against the real server."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+EXAMPLE = os.path.join(REPO_ROOT, "examples", "edge_deployment_pipeline.py")
+
+
+@pytest.mark.slow
+def test_edge_deployment_example_fast_mode(tmp_path):
+    """REPRO_FAST=1 runs the whole pipeline — train, quantize, publish,
+    serve — and exits 0 only if served responses are bit-identical."""
+    env = dict(
+        os.environ,
+        REPRO_FAST="1",
+        REPRO_CACHE_DIR=str(tmp_path / "cache"),
+        PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+    )
+    proc = subprocess.run(
+        [sys.executable, EXAMPLE],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "published artifact" in proc.stdout
+    assert "bit-identical to offline forward: True" in proc.stdout

@@ -1,0 +1,73 @@
+"""Grad-mode switch: context semantics and thread isolation."""
+
+import threading
+
+from repro.tensor import (
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+
+
+def test_no_grad_blocks_graph_and_restores():
+    x = Tensor([1.0], requires_grad=True)
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        assert not (x * 2.0).requires_grad
+        with enable_grad():
+            assert (x * 2.0).requires_grad
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_set_grad_enabled_returns_previous():
+    assert set_grad_enabled(False) is True
+    try:
+        assert set_grad_enabled(True) is False
+    finally:
+        set_grad_enabled(True)
+
+
+def test_grad_mode_is_thread_local():
+    """Interleaved no_grad blocks across threads must not corrupt each
+    other — the serving workers' regression: enter(A), enter(B),
+    exit(A), exit(B) used to restore B's stale snapshot and leave the
+    whole process stuck in no-grad mode."""
+    a_entered = threading.Event()
+    b_entered = threading.Event()
+    a_exited = threading.Event()
+    inside = {}
+
+    def thread_a():
+        with no_grad():
+            a_entered.set()
+            b_entered.wait(timeout=10)
+        a_exited.set()
+
+    def thread_b():
+        a_entered.wait(timeout=10)
+        with no_grad():
+            b_entered.set()
+            a_exited.wait(timeout=10)
+            inside["b"] = is_grad_enabled()
+        inside["b_after"] = is_grad_enabled()
+
+    threads = [threading.Thread(target=thread_a), threading.Thread(target=thread_b)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=20)
+    assert inside == {"b": False, "b_after": True}
+    assert is_grad_enabled()  # the main thread never saw either toggle
+
+
+def test_new_threads_start_with_grad_enabled():
+    seen = {}
+    with no_grad():
+        thread = threading.Thread(target=lambda: seen.update(fresh=is_grad_enabled()))
+        thread.start()
+        thread.join(timeout=10)
+    assert seen == {"fresh": True}
